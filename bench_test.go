@@ -1,0 +1,112 @@
+package mwvc_test
+
+// The benchmark harness exposes every experiment from internal/experiments
+// as a testing.B target (one per table/claim of the paper — see DESIGN.md's
+// per-experiment index) plus per-algorithm micro-benchmarks. The experiment
+// benches run the quick configuration; the full tables in EXPERIMENTS.md
+// come from `go run ./cmd/mwvc-bench`.
+
+import (
+	"testing"
+
+	mwvc "repro"
+	"repro/internal/baselines"
+	"repro/internal/centralized"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(experiments.Config{Quick: true, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1RoundsVsDegree(b *testing.B)   { benchExperiment(b, "E1") }
+func BenchmarkE2ApproxRatio(b *testing.B)      { benchExperiment(b, "E2") }
+func BenchmarkE3MachineMemory(b *testing.B)    { benchExperiment(b, "E3") }
+func BenchmarkE4DegreeDecay(b *testing.B)      { benchExperiment(b, "E4") }
+func BenchmarkE5CentralizedIters(b *testing.B) { benchExperiment(b, "E5") }
+func BenchmarkE6Coupling(b *testing.B)         { benchExperiment(b, "E6") }
+func BenchmarkE7VsLocalBaseline(b *testing.B)  { benchExperiment(b, "E7") }
+func BenchmarkE8DualitySandwich(b *testing.B)  { benchExperiment(b, "E8") }
+func BenchmarkE9CongestedClique(b *testing.B)  { benchExperiment(b, "E9") }
+func BenchmarkE10Ablations(b *testing.B)       { benchExperiment(b, "E10") }
+func BenchmarkE11GlobalMemory(b *testing.B)    { benchExperiment(b, "E11") }
+func BenchmarkE12Throughput(b *testing.B)      { benchExperiment(b, "E12") }
+func BenchmarkE13Unweighted(b *testing.B)      { benchExperiment(b, "E13") }
+func BenchmarkE14Koenig(b *testing.B)          { benchExperiment(b, "E14") }
+
+// ---- per-algorithm micro-benchmarks on a shared midsize workload ----
+
+func benchGraph(n int, d float64) *graph.Graph {
+	return gen.ApplyWeights(gen.GnpAvgDegree(1, n, d), 2, gen.UniformRange{Lo: 1, Hi: 100})
+}
+
+func BenchmarkAlgorithmMPC(b *testing.B) {
+	for _, size := range []struct {
+		name string
+		n    int
+		d    float64
+	}{{"n4k_d32", 4000, 32}, {"n16k_d64", 16000, 64}, {"n16k_d256", 16000, 256}} {
+		b.Run(size.name, func(b *testing.B) {
+			g := benchGraph(size.n, size.d)
+			b.ResetTimer()
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(g, core.ParamsPractical(0.1, uint64(i)+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+			b.ReportMetric(float64(g.NumEdges())/1e6, "Medges")
+		})
+	}
+}
+
+func BenchmarkAlgorithmCentralized(b *testing.B) {
+	g := benchGraph(16000, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := centralized.Run(centralized.Instance{G: g}, centralized.Options{Epsilon: 0.1, Seed: uint64(i) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlgorithmBYE(b *testing.B) {
+	g := benchGraph(16000, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baselines.BarYehudaEven(g)
+	}
+}
+
+func BenchmarkAlgorithmGreedy(b *testing.B) {
+	g := benchGraph(4000, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baselines.Greedy(g)
+	}
+}
+
+func BenchmarkFacadeSolve(b *testing.B) {
+	g := mwvc.RandomGraph(1, 4000, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mwvc.Solve(g, mwvc.Options{Seed: uint64(i) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Command mwvc solves a minimum-weight vertex cover instance with any of
+// the repository's algorithms and prints the cover weight, the certified
+// approximation ratio, and the round/phase accounting.
+//
+// Usage examples:
+//
+//	mwvc -gen gnp -n 10000 -d 64 -weights uniform -algo mpc
+//	mwvc -in graph.txt -algo bye
+//	mwvc -gen powerlaw -n 2000 -d 16 -algo mpc -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	mwvc "repro"
+	"repro/internal/cli"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		algo      = flag.String("algo", "mpc", "algorithm: mpc | centralized | local-uniform | bye | greedy | congested-clique | ggk (unit weights) | exact")
+		eps       = flag.Float64("eps", 0.1, "accuracy parameter ε (ratio 2+O(ε))")
+		seed      = flag.Uint64("seed", 1, "random seed (same seed ⇒ same run)")
+		inFile    = flag.String("in", "", "read the graph from this file instead of generating one")
+		generator = flag.String("gen", "gnp", "generator: "+strings.Join(cli.Generators(), " | "))
+		n         = flag.Int("n", 10000, "number of vertices (generated instances)")
+		d         = flag.Float64("d", 32, "target average degree (generated instances)")
+		weights   = flag.String("weights", "uniform", "weight model: "+strings.Join(cli.WeightModels(), " | "))
+		paper     = flag.Bool("paper-constants", false, "use the paper's literal asymptotic constants for the MPC algorithm")
+		compare   = flag.Bool("compare", false, "also run the baselines and print a comparison")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*inFile, *generator, *n, *d, *weights, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("instance: n=%d m=%d avg_degree=%.1f total_weight=%.1f\n",
+		g.NumVertices(), g.NumEdges(), g.AverageDegree(), g.TotalWeight())
+
+	runOne := func(a mwvc.Algorithm) {
+		start := time.Now()
+		sol, err := mwvc.Solve(g, mwvc.Options{
+			Algorithm:      a,
+			Epsilon:        *eps,
+			Seed:           *seed,
+			PaperConstants: *paper,
+		})
+		if err != nil {
+			fmt.Printf("%-18s error: %v\n", a, err)
+			return
+		}
+		elapsed := time.Since(start)
+		line := fmt.Sprintf("%-18s weight=%.2f", a, sol.Weight)
+		if sol.Bound > 0 {
+			line += fmt.Sprintf("  certified_ratio=%.4f (bound %.2f)", sol.CertifiedRatio, sol.Bound)
+		}
+		if sol.Rounds > 0 {
+			line += fmt.Sprintf("  rounds=%d", sol.Rounds)
+		}
+		if sol.Phases > 0 {
+			line += fmt.Sprintf("  phases=%d", sol.Phases)
+		}
+		if sol.Exact {
+			line += "  (optimal)"
+		}
+		fmt.Printf("%s  [%v]\n", line, elapsed.Round(time.Millisecond))
+	}
+
+	runOne(mwvc.Algorithm(*algo))
+	if *compare {
+		for _, a := range mwvc.Algorithms() {
+			if string(a) == *algo {
+				continue
+			}
+			if a == mwvc.AlgoExact && g.NumVertices() > 64 {
+				continue
+			}
+			if a == mwvc.AlgoCongestedClique && g.NumVertices() > 5000 {
+				continue // one machine per vertex; keep comparisons snappy
+			}
+			runOne(a)
+		}
+	}
+}
+
+func loadGraph(inFile, generator string, n int, d float64, weights string, seed uint64) (*graph.Graph, error) {
+	if inFile != "" {
+		f, err := os.Open(inFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.Read(f)
+	}
+	return cli.BuildGraph(generator, n, d, weights, seed)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mwvc:", err)
+	os.Exit(1)
+}

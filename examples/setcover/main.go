@@ -1,0 +1,73 @@
+// Set cover: the paper's Algorithm 1 descends from the Hochbaum /
+// Bar-Yehuda–Even primal–dual scheme for *weighted set cover*; vertex cover
+// is the frequency-2 special case. This example uses the general
+// f-approximation on a sensor-deployment scenario (each site — a set —
+// covers several zones — elements — and the goal is full zone coverage at
+// minimum deployment cost), then shows the f=2 projection agreeing with the
+// vertex-cover solvers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mwvc "repro"
+	"repro/internal/rng"
+	"repro/internal/setcover"
+)
+
+func main() {
+	// 60 candidate sensor sites, 200 zones; each zone is visible from 2–4
+	// sites; site cost is log-uniform in [1, 100).
+	const (
+		sites = 60
+		zones = 200
+	)
+	src := rng.New(2024)
+	in := &setcover.Instance{
+		Weights:  make([]float64, sites),
+		Elements: make([][]int, zones),
+	}
+	for s := range in.Weights {
+		in.Weights[s] = 1 + 99*src.Float64()*src.Float64()
+	}
+	for z := range in.Elements {
+		k := 2 + src.Intn(3)
+		perm := src.Perm(sites)
+		in.Elements[z] = append([]int(nil), perm[:k]...)
+	}
+
+	sol, err := setcover.Solve(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := setcover.Verify(in, sol); err != nil {
+		log.Fatal(err)
+	}
+	chosen := 0
+	for _, c := range sol.Chosen {
+		if c {
+			chosen++
+		}
+	}
+	fmt.Printf("sensor deployment: %d/%d sites, cost %.1f\n", chosen, sites, sol.Weight)
+	fmt.Printf("frequency f = %d ⇒ certified ≤ %d× optimal (dual bound %.1f)\n\n",
+		sol.Frequency, sol.Frequency, sol.Bound)
+
+	// The f = 2 projection: encode a vertex-cover instance as set cover and
+	// cross-check against the dedicated solver.
+	g := mwvc.RandomGraph(5, 500, 8)
+	vcAsSC, err := setcover.Solve(setcover.FromGraph(g))
+	if err != nil {
+		log.Fatal(err)
+	}
+	vc, err := mwvc.Solve(g, mwvc.Options{Algorithm: mwvc.AlgoBYE})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vertex cover as set cover (f=2): weight %.1f\n", vcAsSC.Weight)
+	fmt.Printf("dedicated Bar-Yehuda–Even:       weight %.1f\n", vc.Weight)
+	if vcAsSC.Weight == vc.Weight {
+		fmt.Println("projection agrees exactly — same local-ratio scheme, same order.")
+	}
+}

@@ -1,0 +1,88 @@
+// Social-network monitoring: place monitors on a power-law graph so every
+// relationship (edge) has at least one monitored endpoint, minimizing total
+// monitoring cost. Hubs are expensive to monitor (cost grows with degree),
+// which is exactly the weighted regime where unweighted vertex-cover
+// algorithms give no guarantee — the gap this paper closes.
+//
+// The example compares the MPC algorithm against the sequential baselines
+// on quality (certified ratio) and on communication rounds.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	mwvc "repro"
+)
+
+func main() {
+	const (
+		users = 20000
+		links = 8 // preferential-attachment links per new user
+	)
+	// Build the power-law social graph through the public builder: a simple
+	// preferential-attachment process over a running endpoint list.
+	fmt.Printf("building a %d-user power-law network...\n", users)
+	b := mwvc.NewBuilder(users)
+	endpoints := []mwvc.Vertex{0}
+	rngState := uint64(12345)
+	next := func(n int) int {
+		// xorshift64* — deterministic, dependency-free.
+		rngState ^= rngState >> 12
+		rngState ^= rngState << 25
+		rngState ^= rngState >> 27
+		return int((rngState * 0x2545F4914F6CDD1D) >> 33 % uint64(n))
+	}
+	degree := make([]int, users)
+	for v := 1; v < users; v++ {
+		attach := links
+		if v < links {
+			attach = v
+		}
+		seen := map[mwvc.Vertex]bool{}
+		for len(seen) < attach {
+			u := endpoints[next(len(endpoints))]
+			if u != mwvc.Vertex(v) && !seen[u] {
+				seen[u] = true
+				b.AddEdge(mwvc.Vertex(v), u)
+				degree[u]++
+				degree[v]++
+				endpoints = append(endpoints, u)
+			}
+		}
+		endpoints = append(endpoints, mwvc.Vertex(v))
+	}
+	// Monitoring cost: roughly linear in connectivity (hubs host more
+	// traffic), with a floor of 1.
+	for v := 0; v < users; v++ {
+		b.SetWeight(mwvc.Vertex(v), 1+math.Sqrt(float64(degree[v])))
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: n=%d, m=%d, max degree=%d, avg degree=%.1f\n\n",
+		g.NumVertices(), g.NumEdges(), g.MaxDegree(), g.AverageDegree())
+
+	for _, algo := range []mwvc.Algorithm{mwvc.AlgoMPC, mwvc.AlgoCentralized, mwvc.AlgoBYE, mwvc.AlgoGreedy} {
+		start := time.Now()
+		sol, err := mwvc.Solve(g, mwvc.Options{Algorithm: algo, Epsilon: 0.1, Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		line := fmt.Sprintf("%-14s cost=%10.1f", algo, sol.Weight)
+		if sol.Bound > 0 {
+			line += fmt.Sprintf("  certified ≤ %.3f×OPT", sol.CertifiedRatio)
+		} else {
+			line += "  (no guarantee)     "
+		}
+		if sol.Rounds > 0 {
+			line += fmt.Sprintf("  rounds=%3d", sol.Rounds)
+		}
+		fmt.Printf("%s  [%v]\n", line, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Println("\nThe MPC run finishes in a handful of rounds regardless of the")
+	fmt.Println("network's density — that is the O(log log d) round compression.")
+}

@@ -1,0 +1,66 @@
+// Weight ranges: why the paper's degree-aware dual initialization matters.
+//
+// Vertex weights spanning nine orders of magnitude model, e.g., ad-auction
+// reserve prices or heterogeneous hardware costs. The classic primal–dual
+// initialization x_e = 1/n needs Θ(log(nW)) rounds — the weight range W
+// shows up in the round count — while the paper's x_e = min{w(u)/d(u),
+// w(v)/d(v)} keeps the round count at O(log Δ) no matter how skewed the
+// weights are (Proposition 3.4), which is what makes the O(log log d) MPC
+// compression possible at all.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	mwvc "repro"
+)
+
+func main() {
+	const n = 5000
+	base := mwvc.RandomGraph(9, n, 32)
+
+	for _, maxW := range []float64{1, 1e3, 1e9} {
+		// Log-uniform weights in [1, maxW).
+		b := mwvc.NewBuilder(n)
+		for v := 0; v < n; v++ {
+			u := hash01(uint64(v) + 77)
+			b.SetWeight(mwvc.Vertex(v), math.Pow(math.Max(maxW, 2), u))
+		}
+		for e := 0; e < base.NumEdges(); e++ {
+			x, y := base.Edge(int32(e))
+			b.AddEdge(x, y)
+		}
+		g, err := b.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		aware, err := mwvc.Solve(g, mwvc.Options{Algorithm: mwvc.AlgoCentralized, Epsilon: 0.1, Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		uniform, err := mwvc.Solve(g, mwvc.Options{Algorithm: mwvc.AlgoLocalUniform, Epsilon: 0.1, Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mpc, err := mwvc.Solve(g, mwvc.Options{Algorithm: mwvc.AlgoMPC, Epsilon: 0.1, Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("weight range [1, %.0e):\n", maxW)
+		fmt.Printf("  LOCAL rounds, degree-aware init: %4d   (O(log Δ), weight-independent)\n", aware.Rounds)
+		fmt.Printf("  LOCAL rounds, uniform 1/n init:  %4d   (O(log nW), grows with W)\n", uniform.Rounds)
+		fmt.Printf("  MPC rounds (paper's algorithm):  %4d   (O(log log d))\n\n", mpc.Rounds)
+	}
+}
+
+func hash01(x uint64) float64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}

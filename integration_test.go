@@ -1,0 +1,202 @@
+package mwvc_test
+
+// Cross-package integration tests: generators → serialization → every
+// algorithm → certificate verification, on a matrix of graph families and
+// weight models. These complement the per-package unit tests by exercising
+// the exact paths a downstream user composes.
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	mwvc "repro"
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/verify"
+)
+
+func TestIntegrationMatrix(t *testing.T) {
+	generators := []string{"gnp", "powerlaw", "bipartite", "regular", "grid", "planted"}
+	weightings := []string{"unit", "uniform", "loguniform", "degree"}
+	algos := []mwvc.Algorithm{mwvc.AlgoMPC, mwvc.AlgoCentralized, mwvc.AlgoBYE}
+	for _, gname := range generators {
+		for _, wname := range weightings {
+			gname, wname := gname, wname
+			t.Run(gname+"/"+wname, func(t *testing.T) {
+				t.Parallel()
+				g, err := cli.BuildGraph(gname, 400, 10, wname, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, algo := range algos {
+					sol, err := mwvc.Solve(g, mwvc.Options{Algorithm: algo, Epsilon: 0.1, Seed: 3})
+					if err != nil {
+						t.Fatalf("%s: %v", algo, err)
+					}
+					if sol.Bound <= 0 && g.NumEdges() > 0 {
+						t.Fatalf("%s: missing certificate", algo)
+					}
+					if g.NumEdges() > 0 && sol.CertifiedRatio > 5+1e-9 {
+						t.Fatalf("%s: certified ratio %v", algo, sol.CertifiedRatio)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestIntegrationSerializeSolve(t *testing.T) {
+	// Solving a graph and solving its serialize→parse round trip must give
+	// identical results (the text format is lossless and order-preserving).
+	g, err := cli.BuildGraph("gnp", 300, 8, "uniform", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mwvc.WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := mwvc.ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := mwvc.Solve(g, mwvc.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mwvc.Solve(h, mwvc.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Weight != b.Weight || a.Rounds != b.Rounds {
+		t.Fatalf("round trip changed the solution: %v/%v vs %v/%v", a.Weight, a.Rounds, b.Weight, b.Rounds)
+	}
+	for v := range a.Cover {
+		if a.Cover[v] != b.Cover[v] {
+			t.Fatal("round trip changed the cover")
+		}
+	}
+}
+
+func TestIntegrationDisconnectedComponents(t *testing.T) {
+	// Several disjoint cliques plus isolated vertices: every algorithm must
+	// handle multiple components and untouched vertices.
+	b := mwvc.NewBuilder(50)
+	id := func(c, i int) mwvc.Vertex { return mwvc.Vertex(c*10 + i) }
+	for c := 0; c < 4; c++ { // vertices 40..49 stay isolated
+		for i := 0; i < 10; i++ {
+			b.SetWeight(id(c, i), float64(1+i))
+			for j := i + 1; j < 10; j++ {
+				b.AddEdge(id(c, i), id(c, j))
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []mwvc.Algorithm{mwvc.AlgoMPC, mwvc.AlgoCentralized, mwvc.AlgoBYE, mwvc.AlgoCongestedClique} {
+		sol, err := mwvc.Solve(g, mwvc.Options{Algorithm: algo, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		for v := 40; v < 50; v++ {
+			if sol.Cover[v] {
+				t.Fatalf("%s: isolated vertex %d covered", algo, v)
+			}
+		}
+	}
+}
+
+func TestIntegrationHeavyTailVsExact(t *testing.T) {
+	// Star forests with extreme weight skew: OPT takes the cheap side of
+	// every star; a correct weighted algorithm must too (within 2+30ε).
+	b := mwvc.NewBuilder(60)
+	opt := 0.0
+	for s := 0; s < 6; s++ {
+		center := mwvc.Vertex(s * 10)
+		b.SetWeight(center, 1) // cheap hub
+		opt++
+		for l := 1; l < 10; l++ {
+			leaf := mwvc.Vertex(s*10 + l)
+			b.SetWeight(leaf, 1e6)
+			b.AddEdge(center, leaf)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover, w, err := exact.Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-opt) > 1e-9 {
+		t.Fatalf("exact OPT %v, want %v", w, opt)
+	}
+	if ok, _ := verify.IsCover(g, cover); !ok {
+		t.Fatal("exact result not a cover")
+	}
+	for _, algo := range []mwvc.Algorithm{mwvc.AlgoMPC, mwvc.AlgoCentralized, mwvc.AlgoBYE} {
+		sol, err := mwvc.Solve(g, mwvc.Options{Algorithm: algo, Epsilon: 0.1, Seed: 9})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if sol.Weight > (2+30*0.1)*opt+1e-9 {
+			t.Fatalf("%s: weight %v on star forest with OPT %v", algo, sol.Weight, opt)
+		}
+	}
+}
+
+func TestIntegrationScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale smoke test skipped in -short mode")
+	}
+	// A quarter-million-edge instance through the full MPC pipeline.
+	g := gen.ApplyWeights(gen.GnpAvgDegree(31, 20000, 24), 5, gen.Exponential{Mean: 3})
+	res, err := core.Run(g, core.ParamsPractical(0.1, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, alpha := res.FeasibleDual(g)
+	cert, err := verify.NewCertificate(g, res.Cover, scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Ratio() > 5 {
+		t.Fatalf("ratio %v at scale", cert.Ratio())
+	}
+	if alpha > 2.5 {
+		t.Fatalf("alpha %v at scale", alpha)
+	}
+	if res.Rounds > 40 {
+		t.Fatalf("%d rounds at scale", res.Rounds)
+	}
+}
+
+func TestIntegrationSeedSensitivity(t *testing.T) {
+	// Different seeds must yield valid (and usually different) covers; the
+	// certified ratio must hold for each.
+	g, err := cli.BuildGraph("gnp", 800, 16, "uniform", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := map[string]bool{}
+	for seed := uint64(1); seed <= 5; seed++ {
+		sol, err := mwvc.Solve(g, mwvc.Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.CertifiedRatio > 5+1e-9 {
+			t.Fatalf("seed %d: ratio %v", seed, sol.CertifiedRatio)
+		}
+		weights[fmt.Sprintf("%.6f", sol.Weight)] = true
+	}
+	if len(weights) < 2 {
+		t.Log("warning: five seeds produced identical cover weights (possible but unusual)")
+	}
+}

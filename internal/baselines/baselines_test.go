@@ -1,0 +1,197 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/centralized"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+func TestBYECoverAndCertificate(t *testing.T) {
+	g := gen.ApplyWeights(gen.Gnp(3, 200, 0.05), 5, gen.UniformRange{Lo: 1, Hi: 10})
+	sol := BarYehudaEven(g)
+	cert, err := verify.NewCertificate(g, sol.Cover, sol.Duals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Ratio() > 2+1e-9 {
+		t.Fatalf("BYE certified ratio %v exceeds 2", cert.Ratio())
+	}
+}
+
+func TestBYEAgainstExact(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 5 + int(seed%10)
+		g := gen.ApplyWeights(gen.Gnp(seed, n, 0.3), seed+1, gen.UniformRange{Lo: 0.5, Hi: 4})
+		sol := BarYehudaEven(g)
+		if ok, _ := verify.IsCover(g, sol.Cover); !ok {
+			return false
+		}
+		_, opt, err := exact.Solve(g)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return verify.CoverWeight(g, sol.Cover) <= 2*opt+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBYEStar(t *testing.T) {
+	// Cheap center: BYE must take the center, not the leaves.
+	b := graph.NewBuilder(11)
+	b.SetWeight(0, 1)
+	for v := 1; v < 11; v++ {
+		b.SetWeight(graph.Vertex(v), 100)
+		b.AddEdge(0, graph.Vertex(v))
+	}
+	g := b.MustBuild()
+	sol := BarYehudaEven(g)
+	if !sol.Cover[0] {
+		t.Fatal("BYE skipped the cheap center")
+	}
+	if verify.CoverWeight(g, sol.Cover) > 2+1e-9 {
+		t.Fatalf("BYE star weight %v", verify.CoverWeight(g, sol.Cover))
+	}
+}
+
+func TestLocalPrimalDualRounds(t *testing.T) {
+	eps := 0.1
+	g := gen.ApplyWeights(gen.GnpAvgDegree(7, 1000, 32), 2, gen.PowerLaw{MaxWeight: 1e6})
+	aware, err := LocalPrimalDual(g, eps, 1, centralized.InitDegreeAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := LocalPrimalDual(g, eps, 1, centralized.InitUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, sol := range map[string]*Solution{"aware": aware, "uniform": uniform} {
+		cert, err := verify.NewCertificate(g, sol.Cover, sol.Duals)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cert.Ratio() > 2+10*eps+1e-9 {
+			t.Fatalf("%s: ratio %v", name, cert.Ratio())
+		}
+		if sol.Rounds <= 0 {
+			t.Fatalf("%s: no rounds", name)
+		}
+	}
+	// The weight range of 1e6 must hurt the uniform baseline, not the
+	// degree-aware one — this is the gap the paper's initialization closes.
+	if uniform.Rounds <= aware.Rounds {
+		t.Fatalf("uniform (%d rounds) should exceed degree-aware (%d)", uniform.Rounds, aware.Rounds)
+	}
+}
+
+func TestGreedyCovers(t *testing.T) {
+	g := gen.ApplyWeights(gen.PreferentialAttachment(4, 500, 4), 9, gen.Exponential{Mean: 2})
+	sol := Greedy(g)
+	if ok, e := verify.IsCover(g, sol.Cover); !ok {
+		t.Fatalf("greedy left edge %d uncovered", e)
+	}
+	if sol.Duals != nil {
+		t.Fatal("greedy should not claim a certificate")
+	}
+}
+
+func TestGreedyPrefersCheapHub(t *testing.T) {
+	b := graph.NewBuilder(6)
+	b.SetWeight(0, 1)
+	for v := 1; v < 6; v++ {
+		b.SetWeight(graph.Vertex(v), 10)
+		b.AddEdge(0, graph.Vertex(v))
+	}
+	sol := Greedy(b.MustBuild())
+	if !sol.Cover[0] || sol.Cover[1] {
+		t.Fatalf("greedy cover %v, want just the hub", sol.Cover)
+	}
+}
+
+func TestMaximalMatchingCover(t *testing.T) {
+	g := gen.Gnp(11, 300, 0.03)
+	sol, err := MaximalMatchingCover(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := verify.NewCertificate(g, sol.Cover, sol.Duals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Ratio() > 2+1e-9 {
+		t.Fatalf("matching cover ratio %v", cert.Ratio())
+	}
+	// Cover size is exactly twice the matching size.
+	if int(cert.Weight) != 2*int(cert.Bound) {
+		t.Fatalf("cover %v vs matching %v", cert.Weight, cert.Bound)
+	}
+}
+
+func TestMaximalMatchingRejectsWeights(t *testing.T) {
+	g := gen.ApplyWeights(gen.Gnp(1, 20, 0.2), 1, gen.UniformRange{Lo: 1, Hi: 2})
+	if _, err := MaximalMatchingCover(g); err == nil {
+		t.Fatal("weighted graph accepted")
+	}
+}
+
+func TestBaselinesOnEdgeless(t *testing.T) {
+	g := graph.NewBuilder(4).MustBuild()
+	if w := verify.CoverWeight(g, BarYehudaEven(g).Cover); w != 0 {
+		t.Fatalf("BYE edgeless weight %v", w)
+	}
+	if w := verify.CoverWeight(g, Greedy(g).Cover); w != 0 {
+		t.Fatalf("greedy edgeless weight %v", w)
+	}
+	mm, err := MaximalMatchingCover(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := verify.CoverWeight(g, mm.Cover); w != 0 {
+		t.Fatalf("matching edgeless weight %v", w)
+	}
+}
+
+func TestBYEDualFeasibleAlways(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 3 + int(seed%40)
+		g := gen.ApplyWeights(gen.Gnp(seed, n, 0.2), seed+3, gen.Exponential{Mean: 1})
+		sol := BarYehudaEven(g)
+		if err := verify.DualFeasible(g, sol.Duals); err != nil {
+			t.Log(err)
+			return false
+		}
+		w := verify.CoverWeight(g, sol.Cover)
+		return w <= 2*verify.DualValue(sol.Duals)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyVsBYEQuality(t *testing.T) {
+	// Neither dominates universally, but both should be within a small
+	// factor of the dual bound on benign random instances.
+	g := gen.ApplyWeights(gen.GnpAvgDegree(21, 400, 12), 4, gen.UniformRange{Lo: 1, Hi: 6})
+	bye := BarYehudaEven(g)
+	greedy := Greedy(g)
+	bound := verify.DualValue(bye.Duals)
+	wb := verify.CoverWeight(g, bye.Cover)
+	wg := verify.CoverWeight(g, greedy.Cover)
+	if wb > 2*bound+1e-9 {
+		t.Fatalf("BYE weight %v exceeds 2x bound %v", wb, bound)
+	}
+	if wg > 4*bound {
+		t.Fatalf("greedy weight %v implausibly poor vs bound %v", wg, bound)
+	}
+	if math.IsInf(wg, 0) || math.IsNaN(wg) {
+		t.Fatal("greedy weight not finite")
+	}
+}

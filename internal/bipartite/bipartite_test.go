@@ -1,0 +1,164 @@
+package bipartite
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+func TestSides(t *testing.T) {
+	g := gen.CompleteBipartite(3, 4)
+	left, err := Sides(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 3; v++ {
+		if !left[v] {
+			t.Fatalf("vertex %d should be left", v)
+		}
+	}
+	for v := 3; v < 7; v++ {
+		if left[v] {
+			t.Fatalf("vertex %d should be right", v)
+		}
+	}
+}
+
+func TestSidesRejectsOddCycle(t *testing.T) {
+	if _, err := Sides(gen.Cycle(5)); err == nil {
+		t.Fatal("odd cycle accepted as bipartite")
+	}
+	if _, err := Sides(gen.Cycle(6)); err != nil {
+		t.Fatalf("even cycle rejected: %v", err)
+	}
+	if _, err := Sides(gen.Clique(4)); err == nil {
+		t.Fatal("K4 accepted as bipartite")
+	}
+}
+
+func TestSidesDisconnected(t *testing.T) {
+	// Two disjoint edges plus an isolated vertex.
+	g, err := graph.FromEdgeList(5, [][2]graph.Vertex{{0, 1}, {2, 3}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sides(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaximumMatchingCompleteBipartite(t *testing.T) {
+	g := gen.CompleteBipartite(4, 6)
+	left, _ := Sides(g)
+	mate, size := MaximumMatching(g, left)
+	if size != 4 {
+		t.Fatalf("K_{4,6} matching size %d, want 4", size)
+	}
+	for v, u := range mate {
+		if u >= 0 && mate[u] != graph.Vertex(v) {
+			t.Fatalf("mate pointers inconsistent at %d", v)
+		}
+	}
+}
+
+func TestMaximumMatchingPath(t *testing.T) {
+	// Path on 5 vertices: maximum matching 2.
+	g := gen.Path(5)
+	left, err := Sides(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, size := MaximumMatching(g, left)
+	if size != 2 {
+		t.Fatalf("P5 matching %d, want 2", size)
+	}
+}
+
+func TestMinimumVertexCoverSmall(t *testing.T) {
+	// K_{3,5}: cover = smaller side = 3.
+	cover, size, err := MinimumVertexCover(gen.CompleteBipartite(3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 3 {
+		t.Fatalf("K_{3,5} cover %d, want 3", size)
+	}
+	if ok, _ := verify.IsCover(gen.CompleteBipartite(3, 5), cover); !ok {
+		t.Fatal("not a cover")
+	}
+	// Even cycle C6: cover 3.
+	if _, size, err = MinimumVertexCover(gen.Cycle(6)); err != nil || size != 3 {
+		t.Fatalf("C6 cover %d err %v, want 3", size, err)
+	}
+	// Star: cover 1.
+	if _, size, err = MinimumVertexCover(gen.Star(9)); err != nil || size != 1 {
+		t.Fatalf("star cover %d err %v, want 1", size, err)
+	}
+}
+
+func TestMinimumVertexCoverMatchesBranchAndBound(t *testing.T) {
+	f := func(seed uint64) bool {
+		nl, nr := 3+int(seed%6), 3+int(seed%5)
+		g := gen.RandomBipartite(seed, nl, nr, 0.4)
+		cover, size, err := MinimumVertexCover(g)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if ok, _ := verify.IsCover(g, cover); !ok {
+			return false
+		}
+		_, opt, err := exact.Solve(g)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return float64(size) == opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimumVertexCoverScale(t *testing.T) {
+	g := gen.RandomBipartite(9, 2000, 2000, 0.002)
+	cover, size, err := MinimumVertexCover(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := verify.IsCover(g, cover); !ok {
+		t.Fatal("not a cover at scale")
+	}
+	count := 0
+	for _, in := range cover {
+		if in {
+			count++
+		}
+	}
+	if count != size {
+		t.Fatalf("size %d but %d marked", size, count)
+	}
+}
+
+func TestMinimumVertexCoverRejectsNonBipartite(t *testing.T) {
+	if _, _, err := MinimumVertexCover(gen.Clique(5)); err == nil {
+		t.Fatal("K5 accepted")
+	}
+}
+
+func TestEdgeless(t *testing.T) {
+	g := graph.NewBuilder(4).MustBuild()
+	cover, size, err := MinimumVertexCover(g)
+	if err != nil || size != 0 {
+		t.Fatalf("edgeless cover %d err %v", size, err)
+	}
+	for _, in := range cover {
+		if in {
+			t.Fatal("edgeless vertex covered")
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package cclique
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+func TestRunProducesCertifiedCover(t *testing.T) {
+	eps := 0.1
+	g := gen.ApplyWeights(gen.GnpAvgDegree(3, 300, 12), 5, gen.UniformRange{Lo: 1, Hi: 10})
+	res, err := Run(g, eps, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := verify.NewCertificate(g, res.Cover, res.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Ratio() > 2+10*eps+1e-9 {
+		t.Fatalf("congested-clique ratio %v exceeds 2+10ε", cert.Ratio())
+	}
+}
+
+func TestRoundsTrackLogDelta(t *testing.T) {
+	eps := 0.1
+	g := gen.GnpAvgDegree(4, 400, 16)
+	res, err := Run(g, eps, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 5 + int(math.Ceil(math.Log(float64(g.MaxDegree())+2)/math.Log(1/(1-eps))))
+	if res.Rounds > bound {
+		t.Fatalf("%d rounds exceed O(log Δ) bound %d", res.Rounds, bound)
+	}
+	if res.Rounds < 2 {
+		t.Fatalf("implausibly few rounds: %d", res.Rounds)
+	}
+}
+
+func TestPairCapsRespected(t *testing.T) {
+	// Run must complete without tripping the substrate's per-pair cap —
+	// i.e. the implementation really is a congested-clique algorithm.
+	g := gen.ApplyWeights(gen.PreferentialAttachment(5, 200, 3), 2, gen.Exponential{Mean: 2})
+	res, err := Run(g, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.TotalMessages == 0 {
+		t.Fatal("no messages recorded")
+	}
+	if ok, _ := verify.IsCover(g, res.Cover); !ok {
+		t.Fatal("not a cover")
+	}
+}
+
+func TestEndpointDualsAgree(t *testing.T) {
+	// The X reconstruction takes the max over the two endpoints' views;
+	// feasibility of the result implies the views never diverged upward.
+	g := gen.ApplyWeights(gen.GnpAvgDegree(6, 150, 8), 9, gen.UniformRange{Lo: 0.5, Hi: 5})
+	res, err := Run(g, 0.05, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.DualFeasible(g, res.X); err != nil {
+		t.Fatal(err)
+	}
+	for e, x := range res.X {
+		if g.NumEdges() > 0 && !(x > 0) {
+			t.Fatalf("edge %d has dual %v, want positive", e, x)
+		}
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if _, err := Run(graph.NewBuilder(0).MustBuild(), 0.1, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(graph.NewBuilder(3).MustBuild(), 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range res.Cover {
+		if in {
+			t.Fatal("edgeless vertex covered")
+		}
+	}
+	if _, err := Run(gen.Path(4), 0.5, 1); err == nil {
+		t.Fatal("bad epsilon accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := gen.ApplyWeights(gen.GnpAvgDegree(8, 200, 10), 3, gen.UniformRange{Lo: 1, Hi: 4})
+	a, err := Run(g, 0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, 0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Cover {
+		if a.Cover[v] != b.Cover[v] {
+			t.Fatal("same seed, different covers")
+		}
+	}
+	if a.Rounds != b.Rounds {
+		t.Fatal("same seed, different rounds")
+	}
+}

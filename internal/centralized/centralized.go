@@ -1,0 +1,367 @@
+// Package centralized implements Algorithm 1 of the paper: the generic
+// centralized/LOCAL primal–dual scheme for (2+ε)-approximate minimum-weight
+// vertex cover.
+//
+// The algorithm maintains dual variables x_e forming a fractional matching.
+// Every vertex is active or frozen. Each iteration t:
+//
+//  1. every active vertex v with y_{v,t} = Σ_{e∋v} x_{e,t} ≥ T_{v,t}·w(v)
+//     freezes, together with its incident edges;
+//  2. every still-active edge multiplies its weight by 1/(1−ε).
+//
+// Frozen vertices form the cover; weak LP duality (Lemma 3.2) certifies the
+// (2+O(ε)) ratio (Proposition 3.3).
+//
+// The same code serves four roles in this repository: the paper's final
+// "solve the remainder on one machine" phase (Algorithm 2 Line 3); the
+// centralized reference run that the MPC simulation is coupled against in
+// the Lemma 4.6 experiments; the O(log Δ) / O(log nW) LOCAL baselines
+// (one iteration = one round); and the approximation-quality workhorse for
+// small instances.
+package centralized
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// InitPolicy selects the initial fractional matching {x_{e,0}}.
+type InitPolicy int
+
+const (
+	// InitDegreeAware is the paper's initialization (Section 3.2):
+	// x_(u,v) = min{w(u)/d(u), w(v)/d(v)}, where d counts active neighbors.
+	// Proposition 3.4: termination within O(log Δ) iterations.
+	InitDegreeAware InitPolicy = iota
+	// InitUniform is the classic initialization x_e = w_min/n. Termination
+	// needs O(log(n·W/w_min)) iterations, i.e. it degrades with the weight
+	// range — exactly the behaviour experiment E5 measures.
+	InitUniform
+)
+
+func (p InitPolicy) String() string {
+	switch p {
+	case InitDegreeAware:
+		return "degree-aware"
+	case InitUniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("InitPolicy(%d)", int(p))
+	}
+}
+
+// ThresholdFunc returns the freeze threshold T_{v,t} ∈ [1−4ε, 1−2ε] for
+// vertex v at iteration t. Vertices compare y_{v,t} against T_{v,t}·w(v).
+type ThresholdFunc func(v graph.Vertex, t int) float64
+
+// RandomThresholds returns the paper's choice: T_{v,t} drawn independently
+// and uniformly from [1−4ε, 1−2ε], realized as a pure function of
+// (seed, v, t) so coupled runs see identical draws.
+func RandomThresholds(seed uint64, epsilon float64) ThresholdFunc {
+	lo, hi := 1-4*epsilon, 1-2*epsilon
+	return func(v graph.Vertex, t int) float64 {
+		return rng.UniformAt(seed, lo, hi, 'T', uint64(v), uint64(t))
+	}
+}
+
+// FixedThreshold returns the deterministic threshold 1−3ε for every vertex
+// and iteration. The paper needs randomness to decorrelate simulation errors
+// (see [GGK+18] §4.2); this is the ablation knob for experiment E10.
+func FixedThreshold(epsilon float64) ThresholdFunc {
+	th := 1 - 3*epsilon
+	return func(graph.Vertex, int) float64 { return th }
+}
+
+// Options configures a run of Algorithm 1.
+type Options struct {
+	// Epsilon is the accuracy parameter ε ∈ (0, 1/8]; the returned cover has
+	// weight ≤ (2+10ε)·OPT (Proposition 3.3).
+	Epsilon float64
+	// Init selects the initial fractional matching. Ignored if the instance
+	// supplies explicit X0.
+	Init InitPolicy
+	// Threshold supplies T_{v,t}. If nil, RandomThresholds(Seed, Epsilon).
+	Threshold ThresholdFunc
+	// Seed feeds the default threshold function.
+	Seed uint64
+	// MaxIterations caps the main loop as a safety net. 0 means "derive the
+	// provable bound from the instance" (log_{1/(1−ε)} of the largest
+	// weight-to-initial-dual ratio, plus slack).
+	MaxIterations int
+	// StopAfter, when positive, ends the run after exactly StopAfter
+	// iterations even if active edges remain (no error). This is how the
+	// Lemma 4.6 coupling runs the centralized algorithm "for I iterations on
+	// the graph induced by V^high".
+	StopAfter int
+	// RecordTrace, when set, stores y_{v,t} for every vertex and iteration
+	// (O(n·T) memory) — needed by the Lemma 4.6 coupling experiments.
+	RecordTrace bool
+}
+
+// Instance is a (possibly residual) problem: a graph, an active-vertex mask,
+// per-vertex residual weights, and optionally an explicit initial matching.
+// Zero-valued fields take defaults: all vertices active, graph weights,
+// policy-derived X0.
+type Instance struct {
+	G       *graph.Graph
+	Active  []bool    // nil ⇒ all active
+	Weights []float64 // nil ⇒ G.Weights()
+	X0      []float64 // nil ⇒ derived from Options.Init; entries for inactive edges ignored
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Cover[v] reports whether v was frozen (selected into the cover).
+	Cover []bool
+	// X holds the final dual variables (a feasible fractional matching).
+	X []float64
+	// FreezeIter[v] is the iteration at which v froze, or -1.
+	FreezeIter []int
+	// EdgeFreezeIter[e] is the iteration at which e froze, or -1 (only
+	// possible for edges with an inactive endpoint, which never participate).
+	EdgeFreezeIter []int
+	// Iterations is the number of executed iterations of the main loop
+	// (equivalently: rounds when the algorithm is read as a LOCAL/PRAM
+	// baseline, one iteration per communication round).
+	Iterations int
+	// ActiveEdgesPerIter[t] is the number of active edges at the start of
+	// iteration t (a progress trace used by the decay experiments).
+	ActiveEdgesPerIter []int
+	// YTrace[t][v] is y_{v,t} when Options.RecordTrace is set, else nil.
+	// It has Iterations+1 entries: one per executed iteration plus a final
+	// snapshot of the state after the last growth step.
+	YTrace [][]float64
+}
+
+// DeriveX0 computes the initial fractional matching for the instance per the
+// policy. Degrees are counted with respect to active vertices only, matching
+// the paper's residual-degree convention (Remark 4.2).
+func DeriveX0(inst Instance, policy InitPolicy) ([]float64, error) {
+	g := inst.G
+	active := inst.Active
+	isActive := func(v graph.Vertex) bool { return active == nil || active[v] }
+	w := inst.Weights
+	if w == nil {
+		w = g.Weights()
+	}
+	x0 := make([]float64, g.NumEdges())
+	switch policy {
+	case InitDegreeAware:
+		deg := g.DegreesWithin(isActive)
+		for e := 0; e < g.NumEdges(); e++ {
+			u, v := g.Edge(graph.EdgeID(e))
+			if !isActive(u) || !isActive(v) {
+				continue
+			}
+			ru := w[u] / float64(deg[u])
+			rv := w[v] / float64(deg[v])
+			x0[e] = math.Min(ru, rv)
+		}
+	case InitUniform:
+		// x_e = w_min/n is feasible: Σ_{e∋v} x_e ≤ d(v)·w_min/n ≤ w_min ≤ w(v).
+		wmin := math.Inf(1)
+		anyActive := false
+		for v := 0; v < g.NumVertices(); v++ {
+			if isActive(graph.Vertex(v)) {
+				anyActive = true
+				wmin = math.Min(wmin, w[v])
+			}
+		}
+		if !anyActive {
+			return x0, nil
+		}
+		base := wmin / float64(g.NumVertices())
+		for e := 0; e < g.NumEdges(); e++ {
+			u, v := g.Edge(graph.EdgeID(e))
+			if isActive(u) && isActive(v) {
+				x0[e] = base
+			}
+		}
+	default:
+		return nil, fmt.Errorf("centralized: unknown init policy %v", policy)
+	}
+	return x0, nil
+}
+
+// Run executes Algorithm 1 on the instance.
+func Run(inst Instance, opts Options) (*Result, error) {
+	g := inst.G
+	if g == nil {
+		return nil, errors.New("centralized: nil graph")
+	}
+	if opts.Epsilon <= 0 || opts.Epsilon > 0.125 {
+		return nil, fmt.Errorf("centralized: epsilon %v out of (0, 0.125]", opts.Epsilon)
+	}
+	n, m := g.NumVertices(), g.NumEdges()
+	active := make([]bool, n)
+	if inst.Active == nil {
+		for v := range active {
+			active[v] = true
+		}
+	} else {
+		if len(inst.Active) != n {
+			return nil, fmt.Errorf("centralized: active mask length %d, want %d", len(inst.Active), n)
+		}
+		copy(active, inst.Active)
+	}
+	w := inst.Weights
+	if w == nil {
+		w = g.Weights()
+	} else if len(w) != n {
+		return nil, fmt.Errorf("centralized: weight vector length %d, want %d", len(w), n)
+	}
+	for v := 0; v < n; v++ {
+		if active[v] && !(w[v] > 0) {
+			return nil, fmt.Errorf("centralized: active vertex %d has non-positive weight %v", v, w[v])
+		}
+	}
+
+	x0 := inst.X0
+	if x0 == nil {
+		var err error
+		if x0, err = DeriveX0(Instance{G: g, Active: active, Weights: w}, opts.Init); err != nil {
+			return nil, err
+		}
+	} else if len(x0) != m {
+		return nil, fmt.Errorf("centralized: X0 length %d, want %d", len(x0), m)
+	}
+
+	threshold := opts.Threshold
+	if threshold == nil {
+		threshold = RandomThresholds(opts.Seed, opts.Epsilon)
+	}
+
+	growth := 1 / (1 - opts.Epsilon)
+
+	// Edge activity and the incremental incident sums.
+	// yActive[v] = Σ over active incident edges of the *current* x_e;
+	// yFrozen[v] = Σ over frozen incident edges of their final x_e.
+	x := make([]float64, m)
+	edgeActive := make([]bool, m)
+	edgeFreeze := make([]int, m)
+	yActive := make([]float64, n)
+	yFrozen := make([]float64, n)
+	activeEdges := 0
+	maxRatio := 1.0
+	for e := 0; e < m; e++ {
+		edgeFreeze[e] = -1
+		u, v := g.Edge(graph.EdgeID(e))
+		if !active[u] || !active[v] {
+			continue
+		}
+		if !(x0[e] > 0) {
+			return nil, fmt.Errorf("centralized: initial x[%d] = %v, want positive", e, x0[e])
+		}
+		x[e] = x0[e]
+		edgeActive[e] = true
+		activeEdges++
+		yActive[u] += x0[e]
+		yActive[v] += x0[e]
+		if r := math.Min(w[u], w[v]) / x0[e]; r > maxRatio {
+			maxRatio = r
+		}
+	}
+	for v := 0; v < n; v++ {
+		if active[v] && yActive[v] > w[v]*(1+1e-9) {
+			return nil, fmt.Errorf("centralized: initial matching infeasible at vertex %d: %v > %v", v, yActive[v], w[v])
+		}
+	}
+
+	maxIter := opts.MaxIterations
+	if maxIter == 0 {
+		// An active edge e=(u,v) reaches x_e ≥ min(w(u), w(v)) after at most
+		// log_growth(maxRatio) iterations, at which point an endpoint must
+		// have frozen (its threshold is at most (1−2ε) < 1). +3 for slack.
+		maxIter = int(math.Ceil(math.Log(maxRatio)/math.Log(growth))) + 3
+	}
+
+	res := &Result{
+		Cover:          make([]bool, n),
+		FreezeIter:     make([]int, n),
+		EdgeFreezeIter: edgeFreeze,
+	}
+	for v := range res.FreezeIter {
+		res.FreezeIter[v] = -1
+	}
+
+	var freezeList []graph.Vertex
+	t := 0
+	for ; activeEdges > 0; t++ {
+		if opts.StopAfter > 0 && t >= opts.StopAfter {
+			break
+		}
+		if t >= maxIter {
+			return nil, fmt.Errorf("centralized: no termination after %d iterations (%d active edges remain)", t, activeEdges)
+		}
+		res.ActiveEdgesPerIter = append(res.ActiveEdgesPerIter, activeEdges)
+		if opts.RecordTrace {
+			snap := make([]float64, n)
+			for v := 0; v < n; v++ {
+				snap[v] = yActive[v] + yFrozen[v]
+			}
+			res.YTrace = append(res.YTrace, snap)
+		}
+
+		// Line (4a): simultaneous freeze test against start-of-iteration y.
+		freezeList = freezeList[:0]
+		for v := 0; v < n; v++ {
+			if active[v] && yActive[v]+yFrozen[v] >= threshold(graph.Vertex(v), t)*w[v] {
+				freezeList = append(freezeList, graph.Vertex(v))
+			}
+		}
+		for _, v := range freezeList {
+			active[v] = false
+			res.Cover[v] = true
+			res.FreezeIter[v] = t
+		}
+		for _, v := range freezeList {
+			ids := g.IncidentEdges(v)
+			for _, e := range ids {
+				if !edgeActive[e] {
+					continue
+				}
+				edgeActive[e] = false
+				edgeFreeze[e] = t
+				activeEdges--
+				u := g.Other(e, v)
+				// Move the edge's weight from the active to the frozen sum of
+				// the surviving endpoint (and of v itself, harmlessly).
+				yActive[u] -= x[e]
+				yFrozen[u] += x[e]
+				yActive[v] -= x[e]
+				yFrozen[v] += x[e]
+			}
+		}
+
+		// Lines (4b)/(4c): active edges grow by 1/(1−ε); frozen stay.
+		if activeEdges > 0 {
+			for e := 0; e < m; e++ {
+				if edgeActive[e] {
+					x[e] *= growth
+				}
+			}
+			for v := 0; v < n; v++ {
+				if active[v] {
+					yActive[v] *= growth
+				}
+			}
+		}
+	}
+	if opts.RecordTrace {
+		// One extra snapshot so YTrace[t] is defined for t = Iterations as
+		// well (the state after the last growth step), which the Lemma 4.6
+		// coupling compares against.
+		snap := make([]float64, n)
+		for v := 0; v < n; v++ {
+			snap[v] = yActive[v] + yFrozen[v]
+		}
+		res.YTrace = append(res.YTrace, snap)
+	}
+	res.Iterations = t
+	res.X = x
+	return res, nil
+}

@@ -1,0 +1,81 @@
+package cli
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestBuildGraphAllGenerators(t *testing.T) {
+	for _, gen := range Generators() {
+		g, err := BuildGraph(gen, 200, 8, "unit", 1)
+		if err != nil {
+			t.Fatalf("%s: %v", gen, err)
+		}
+		if g.NumVertices() < 1 {
+			t.Fatalf("%s: empty graph", gen)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", gen, err)
+		}
+	}
+}
+
+func TestBuildGraphAllWeightModels(t *testing.T) {
+	for _, w := range WeightModels() {
+		g, err := BuildGraph("gnp", 100, 6, w, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if !(g.Weight(graph.Vertex(v)) > 0) {
+				t.Fatalf("%s: bad weight at %d", w, v)
+			}
+		}
+	}
+}
+
+func TestBuildGraphErrors(t *testing.T) {
+	if _, err := BuildGraph("nope", 10, 2, "unit", 1); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+	if _, err := BuildGraph("gnp", 10, 2, "nope", 1); err == nil {
+		t.Fatal("unknown weight model accepted")
+	}
+	if _, err := BuildGraph("gnp", -1, 2, "unit", 1); err == nil {
+		t.Fatal("negative n accepted")
+	}
+}
+
+func TestBuildGraphEdgeCases(t *testing.T) {
+	// Saturating degree on a clique request, tiny n, empty weight name.
+	if _, err := BuildGraph("regular", 5, 100, "", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildGraph("bipartite", 3, 100, "unit", 1); err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildGraph("grid", 10, 0, "unit", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() < 10 {
+		t.Fatalf("grid smaller than requested: %d", g.NumVertices())
+	}
+	if _, err := BuildGraph("planted", 30, 4, "unit", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildGraph("powerlaw", 50, 1, "unit", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightModelDefault(t *testing.T) {
+	m, err := WeightModel("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "unit" {
+		t.Fatalf("default model %q", m.Name())
+	}
+}

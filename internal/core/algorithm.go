@@ -1,0 +1,699 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/centralized"
+	"repro/internal/graph"
+	"repro/internal/mpc"
+	"repro/internal/rng"
+)
+
+// Message tags distinguishing record kinds within a round's payloads.
+const (
+	tagVertex uint64 = 1
+	tagEdge   uint64 = 2
+	tagResult uint64 = 3
+	tagScalar uint64 = 4
+)
+
+// Labels for derived randomness. Partition and threshold draws are pure
+// functions of (seed, label, phase, vertex[, iteration]), which is what lets
+// the coupling experiments replay a phase with identical randomness.
+const (
+	labelPartition uint64 = 'P'
+	labelThreshold uint64 = 'T'
+)
+
+// noFreeze marks a vertex that stayed active through a local simulation.
+const noFreeze = -1
+
+// Run executes Algorithm 2 on g and returns the cover, the finalized dual
+// weights, and the per-phase measurements.
+func Run(g *graph.Graph, p Params) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, errors.New("core: nil graph")
+	}
+	n := g.NumVertices()
+	mEdges := g.NumEdges()
+	eps := p.Epsilon
+	growth := 1 / (1 - eps)
+
+	res := &Result{
+		Cover: make([]bool, n),
+		X:     make([]float64, mEdges),
+	}
+	if n == 0 {
+		return res, nil
+	}
+
+	// Algorithm state. frozenIncident[v] accumulates Σ_{e∋v frozen} x_e so
+	// that w′(v) = w(v) − frozenIncident[v] (Line 2b).
+	frozen := res.Cover
+	xFinal := res.X
+	edgeFrozen := make([]bool, mEdges)
+	frozenIncident := make([]float64, n)
+	resDeg := make([]int, n)
+	nonfrozenEdges := int64(mEdges)
+	for v := 0; v < n; v++ {
+		resDeg[v] = g.Degree(graph.Vertex(v))
+	}
+
+	// Defensive freeze for a vertex whose residual weight has been exhausted
+	// (mathematically prevented by Line 2i; guarded against float drift).
+	// Its remaining nonfrozen edges finalize at 0, like Line 2j.
+	zeroFreeze := func(v graph.Vertex) {
+		frozen[v] = true
+		for _, e := range g.IncidentEdges(v) {
+			if !edgeFrozen[e] {
+				edgeFrozen[e] = true
+				xFinal[e] = 0
+			}
+		}
+	}
+
+	// Cluster sizing: the simulation uses m = √d machines per phase, but the
+	// cluster also holds the input edges (round-robin), so it needs enough
+	// machines that no home machine's share exceeds a quarter of its memory.
+	memWords := p.MemoryWords(n)
+	maxEdgesPerHome := memWords / (4 * mpc.EdgeRecordWords)
+	if maxEdgesPerHome < 1 {
+		return nil, fmt.Errorf("core: machine memory %d words cannot hold any edges", memWords)
+	}
+	d0 := 2 * float64(nonfrozenEdges) / float64(n)
+	mTotal := p.NumMachines(d0)
+	if need := int((int64(mEdges) + maxEdgesPerHome - 1) / maxEdgesPerHome); need > mTotal {
+		mTotal = need
+	}
+	if mTotal < 2 {
+		mTotal = 2
+	}
+	// The per-phase degree aggregation is a single fan-in-M tree level, so
+	// machine 0 receives 2·M words; cap the fleet so that always fits in a
+	// quarter of its budget. The cap can only bind below the edge-holding
+	// requirement when S² < 96·|E|, which Õ(n) memory always avoids.
+	if maxFleet := int(memWords / 8); mTotal > maxFleet {
+		if need := int((int64(mEdges) + maxEdgesPerHome - 1) / maxEdgesPerHome); need > maxFleet {
+			return nil, fmt.Errorf("core: memory %d words per machine cannot host both the input (%d machines needed) and the aggregation fan-in (max %d)", memWords, need, maxFleet)
+		}
+		mTotal = maxFleet
+	}
+	cluster, err := mpc.NewCluster(mpc.Config{
+		Machines:    mTotal,
+		MemoryWords: memWords,
+		Parallelism: p.Parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	maxPhases := p.MaxPhases
+	if maxPhases == 0 {
+		maxPhases = 64
+	}
+
+	// Reused per-phase scratch.
+	high := make([]bool, n)
+	highIndex := make([]int32, n)
+	wres := make([]float64, n)
+	machineOf := make([]int32, n)
+	freezeIterShared := make([]int32, n)
+	yMPC := make([]float64, n)
+	xPhase := make([]float64, mEdges)
+	var highList []graph.Vertex
+	var highEdges []int32
+
+	phase := 0
+	stalls := 0
+	for ; ; phase++ {
+		d := 2 * float64(nonfrozenEdges) / float64(n)
+		if d <= p.SwitchThreshold(n) {
+			break
+		}
+		// Stall fallback: if sampled phases stop making progress (which the
+		// ablations deliberately provoke — e.g. uniform initialization
+		// resets the duals every phase and can never reach any threshold
+		// within I iterations), hand the residual instance to the final
+		// centralized phase instead of spinning. The memory charge there
+		// still enforces that the fallback is legitimate.
+		if stalls >= 3 {
+			break
+		}
+		if phase >= maxPhases {
+			return nil, fmt.Errorf("core: no convergence after %d phases (d=%.1f)", phase, d)
+		}
+
+		// Lines (2a)/(2b): classify nonfrozen vertices and compute residual
+		// weights for V^high.
+		dGamma := math.Pow(d, p.HighDegreeExponent)
+		if p.DisableInactiveSplit {
+			dGamma = 1 // every nonfrozen vertex with an edge is "high"
+		}
+		highList = highList[:0]
+		numInactive := 0
+		numNonfrozen := 0
+		for v := 0; v < n; v++ {
+			high[v] = false
+			if frozen[v] {
+				continue
+			}
+			numNonfrozen++
+			if resDeg[v] == 0 {
+				continue
+			}
+			w := g.Weight(graph.Vertex(v)) - frozenIncident[v]
+			if w <= 1e-12*g.Weight(graph.Vertex(v)) {
+				zeroFreeze(graph.Vertex(v))
+				continue
+			}
+			if float64(resDeg[v]) >= dGamma {
+				high[v] = true
+				wres[v] = w
+				highIndex[v] = int32(len(highList))
+				highList = append(highList, graph.Vertex(v))
+			} else {
+				numInactive++
+			}
+		}
+		if len(highList) == 0 {
+			// Cannot happen while d > 1 (some vertex has degree ≥ d ≥ d^γ),
+			// but guard so a degenerate configuration falls through to the
+			// final centralized phase instead of looping.
+			break
+		}
+
+		// Line (2e): machines and iterations for this phase.
+		mMach := p.NumMachines(d)
+		if mMach < 1 {
+			mMach = 1
+		}
+		if mMach > mTotal {
+			mMach = mTotal
+		}
+		iters := p.PhaseIterations(mMach, eps)
+		if iters < 1 {
+			iters = 1
+		}
+
+		// Line (2c): initial duals on E[V^high] (degree-aware, or the
+		// uniform-init ablation).
+		highEdges = highEdges[:0]
+		uniformBase := 0.0
+		if p.UniformInit {
+			wmin := math.Inf(1)
+			for _, v := range highList {
+				wmin = math.Min(wmin, wres[v])
+			}
+			uniformBase = wmin / float64(n)
+		}
+		for e := 0; e < mEdges; e++ {
+			if edgeFrozen[e] {
+				continue
+			}
+			u, v := g.Edge(graph.EdgeID(e))
+			if !high[u] || !high[v] {
+				continue
+			}
+			highEdges = append(highEdges, int32(e))
+			if p.UniformInit {
+				xPhase[e] = uniformBase
+			} else {
+				xPhase[e] = math.Min(wres[u]/float64(resDeg[u]), wres[v]/float64(resDeg[v]))
+			}
+		}
+
+		// Line (2d): thresholds are a pure function of (seed, phase, v, t);
+		// Line (2f): so is the partition.
+		lo, hi := 1-4*eps, 1-2*eps
+		threshold := func(v graph.Vertex, t int) float64 {
+			return rng.UniformAt(p.Seed, lo, hi, labelThreshold, uint64(phase), uint64(v), uint64(t))
+		}
+		if p.FixedThresholds {
+			fixed := 1 - 3*eps
+			threshold = func(graph.Vertex, int) float64 { return fixed }
+		}
+		for _, v := range highList {
+			machineOf[v] = int32(rng.ChooseAt(p.Seed, mMach, labelPartition, uint64(phase), uint64(v)))
+		}
+
+		// ---- MPC execution of the phase ----
+		cluster.ResetResident()
+
+		biasCoeff := p.BiasCoefficient
+		if p.DisableBias {
+			biasCoeff = 0
+		}
+
+		// Rounds A0/A1 (aggregate + share): the average residual degree is
+		// computed *through the cluster* — each home machine counts its
+		// nonfrozen edges, a single fan-in-M tree level combines the counts
+		// at machine 0 (the [GSZ11] O(1)-round aggregation primitive; see
+		// internal/mpcalg for the general-depth version), and machine 0
+		// shares the result with the fleet. The driver cross-checks the
+		// aggregated value against its own bookkeeping, so the simulated
+		// data path is load-bearing, not decorative.
+		err := cluster.Round(func(mach *mpc.Machine) error {
+			id := mach.ID()
+			cnt := uint64(0)
+			for e := id; e < mEdges; e += mTotal {
+				if !edgeFrozen[e] {
+					cnt++
+				}
+			}
+			return mach.Send(0, []uint64{tagScalar, cnt})
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: phase %d degree aggregation: %w", phase, err)
+		}
+		err = cluster.Round(func(mach *mpc.Machine) error {
+			if mach.ID() != 0 {
+				return nil
+			}
+			total := uint64(0)
+			for _, msg := range mach.Inbox() {
+				if len(msg.Data) != 2 || msg.Data[0] != tagScalar {
+					return fmt.Errorf("core: malformed degree report from machine %d", msg.From)
+				}
+				total += msg.Data[1]
+			}
+			if total != uint64(nonfrozenEdges) {
+				return fmt.Errorf("core: aggregated %d nonfrozen edges, driver has %d", total, nonfrozenEdges)
+			}
+			dv := 2 * float64(total) / float64(n)
+			for dst := 0; dst < mTotal; dst++ {
+				if err := mach.Send(dst, []uint64{tagScalar, mpc.PutFloat(dv)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: phase %d degree share: %w", phase, err)
+		}
+
+		// Round A (scatter): home machines verify the shared degree and
+		// route co-located induced edges and vertex records to the owning
+		// simulation machine.
+		err = cluster.Round(func(mach *mpc.Machine) error {
+			id := mach.ID()
+			sawScalar := false
+			for _, msg := range mach.Inbox() {
+				if len(msg.Data) == 2 && msg.Data[0] == tagScalar {
+					if got := mpc.GetFloat(msg.Data[1]); math.Abs(got-d) > 1e-9*d {
+						return fmt.Errorf("core: machine %d received d=%v, phase uses %v", id, got, d)
+					}
+					sawScalar = true
+				}
+			}
+			if !sawScalar {
+				return fmt.Errorf("core: machine %d missing the shared average degree", id)
+			}
+			vb := make([][]uint64, mMach)
+			for v := id; v < n; v += mTotal {
+				if !high[v] {
+					continue
+				}
+				dst := machineOf[v]
+				if vb[dst] == nil {
+					vb[dst] = append(make([]uint64, 0, 64), tagVertex)
+				}
+				vb[dst] = mpc.AppendVertexRecord(vb[dst], int32(v), wres[v])
+			}
+			eb := make([][]uint64, mMach)
+			for e := id; e < mEdges; e += mTotal {
+				if edgeFrozen[e] {
+					continue
+				}
+				u, v := g.Edge(graph.EdgeID(e))
+				if !high[u] || !high[v] || machineOf[u] != machineOf[v] {
+					continue
+				}
+				dst := machineOf[u]
+				if eb[dst] == nil {
+					eb[dst] = append(make([]uint64, 0, 64), tagEdge)
+				}
+				eb[dst] = mpc.AppendEdgeRecord(eb[dst], u, v, xPhase[e])
+			}
+			for dst := 0; dst < mMach; dst++ {
+				if vb[dst] != nil {
+					if err := mach.Send(dst, vb[dst]); err != nil {
+						return err
+					}
+				}
+				if eb[dst] != nil {
+					if err := mach.Send(dst, eb[dst]); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: phase %d scatter: %w", phase, err)
+		}
+
+		// Round B (local simulation): each simulation machine materializes
+		// its induced subgraph (charged against its memory budget — this is
+		// the Lemma 4.1 constraint), runs Lines (2g i–iii), and routes the
+		// freeze results to each vertex's home machine.
+		localEdgeCount := make([]int64, mTotal)
+		err = cluster.Round(func(mach *mpc.Machine) error {
+			id := mach.ID()
+			inbox := mach.Inbox()
+			if id >= mMach {
+				if len(inbox) != 0 {
+					return fmt.Errorf("core: non-simulation machine %d received %d messages", id, len(inbox))
+				}
+				return nil
+			}
+			li := &localInstance{}
+			local := make(map[graph.Vertex]int32)
+			for _, msg := range inbox {
+				if len(msg.Data) == 0 || msg.Data[0] != tagVertex {
+					continue
+				}
+				body := msg.Data[1:]
+				cnt, err := mpc.CheckRecordCount(body, mpc.VertexRecordWords)
+				if err != nil {
+					return err
+				}
+				for i := 0; i < cnt; i++ {
+					v, w := mpc.DecodeVertexRecord(body, i)
+					local[v] = int32(len(li.vertexIDs))
+					li.vertexIDs = append(li.vertexIDs, v)
+					li.resWeight = append(li.resWeight, w)
+				}
+			}
+			for _, msg := range inbox {
+				if len(msg.Data) == 0 || msg.Data[0] != tagEdge {
+					continue
+				}
+				body := msg.Data[1:]
+				cnt, err := mpc.CheckRecordCount(body, mpc.EdgeRecordWords)
+				if err != nil {
+					return err
+				}
+				for i := 0; i < cnt; i++ {
+					u, v, x0 := mpc.DecodeEdgeRecord(body, i)
+					lu, ok1 := local[u]
+					lv, ok2 := local[v]
+					if !ok1 || !ok2 {
+						return fmt.Errorf("core: machine %d received edge (%d,%d) without both endpoints", id, u, v)
+					}
+					li.edges = append(li.edges, [2]int32{lu, lv})
+					li.x0 = append(li.x0, x0)
+				}
+			}
+			if err := mach.Charge(li.words()); err != nil {
+				return err
+			}
+			localEdgeCount[id] = int64(len(li.edges))
+			freeze := runLocalSim(li, mMach, iters, eps, biasCoeff, p.BiasGrowth, threshold)
+			out := make([][]uint64, mTotal)
+			for i, v := range li.vertexIDs {
+				home := int(v) % mTotal
+				if out[home] == nil {
+					out[home] = append(make([]uint64, 0, 32), tagResult)
+				}
+				out[home] = mpc.AppendResultRecord(out[home], v, freeze[i])
+			}
+			for dst, data := range out {
+				if data != nil {
+					if err := mach.Send(dst, data); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: phase %d local simulation: %w", phase, err)
+		}
+
+		// Round C (collect): home machines record the freeze iteration of
+		// their vertices. Writes are disjoint by construction (one home per
+		// vertex), so the shared slice is race-free.
+		for _, v := range highList {
+			freezeIterShared[v] = noFreeze
+		}
+		err = cluster.Round(func(mach *mpc.Machine) error {
+			for _, msg := range mach.Inbox() {
+				if len(msg.Data) == 0 || msg.Data[0] != tagResult {
+					return fmt.Errorf("core: machine %d: unexpected tag in collect round", mach.ID())
+				}
+				body := msg.Data[1:]
+				cnt, err := mpc.CheckRecordCount(body, mpc.ResultRecordWords)
+				if err != nil {
+					return err
+				}
+				for i := 0; i < cnt; i++ {
+					v, fi := mpc.DecodeResultRecord(body, i)
+					if int(v)%mTotal != mach.ID() {
+						return fmt.Errorf("core: result for vertex %d misrouted to machine %d", v, mach.ID())
+					}
+					freezeIterShared[v] = int32(fi)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: phase %d collect: %w", phase, err)
+		}
+
+		// Optional coupling capture — must happen before Line (2h) rescales
+		// xPhase in place.
+		if p.CollectCoupling {
+			cp := CouplingPhase{
+				Phase:      phase,
+				Machines:   mMach,
+				Iterations: iters,
+				High:       append([]graph.Vertex(nil), highList...),
+			}
+			cp.ResidualWeight = make([]float64, len(highList))
+			cp.MachineOf = make([]int, len(highList))
+			cp.FreezeIter = make([]int, len(highList))
+			for i, v := range highList {
+				cp.ResidualWeight[i] = wres[v]
+				cp.MachineOf[i] = int(machineOf[v])
+				cp.FreezeIter[i] = int(freezeIterShared[v])
+			}
+			cp.Edges = make([][2]int32, len(highEdges))
+			cp.X0 = make([]float64, len(highEdges))
+			for i, e := range highEdges {
+				u, v := g.Edge(graph.EdgeID(e))
+				cp.Edges[i] = [2]int32{highIndex[u], highIndex[v]}
+				cp.X0[i] = xPhase[e]
+			}
+			res.Coupling = append(res.Coupling, cp)
+		}
+
+		// Line (2h): every edge of E[V^high] gets the weight implied by the
+		// earliest endpoint freeze (t′ = I when both stayed active).
+		pow := make([]float64, iters+1)
+		pow[0] = 1
+		for t := 1; t <= iters; t++ {
+			pow[t] = pow[t-1] * growth
+		}
+		fiOf := func(v graph.Vertex) int {
+			if fi := freezeIterShared[v]; fi >= 0 {
+				return int(fi)
+			}
+			return iters
+		}
+		for _, e := range highEdges {
+			u, v := g.Edge(graph.EdgeID(e))
+			t := fiOf(u)
+			if tv := fiOf(v); tv < t {
+				t = tv
+			}
+			xPhase[e] *= pow[t]
+		}
+
+		// Freeze set 1: vertices frozen by their local simulation.
+		var newlyFrozen []graph.Vertex
+		for _, v := range highList {
+			if freezeIterShared[v] >= 0 {
+				newlyFrozen = append(newlyFrozen, v)
+			}
+		}
+		frozenAtSim := len(newlyFrozen)
+
+		// Line (2i): vertices whose incident E[V^high] weight already
+		// exceeds their residual weight freeze too, so residuals stay
+		// nonnegative in later phases.
+		for _, v := range highList {
+			yMPC[v] = 0
+		}
+		for _, e := range highEdges {
+			u, v := g.Edge(graph.EdgeID(e))
+			yMPC[u] += xPhase[e]
+			yMPC[v] += xPhase[e]
+		}
+		frozenAt2i := 0
+		for _, v := range highList {
+			if freezeIterShared[v] < 0 && yMPC[v] >= wres[v]*(1-1e-12) {
+				newlyFrozen = append(newlyFrozen, v)
+				frozenAt2i++
+			}
+		}
+		for _, v := range newlyFrozen {
+			frozen[v] = true
+		}
+
+		// Finalize edges: E[V^high] edges with a frozen endpoint keep their
+		// Line (2h) weight; Line (2j) freezes V^inactive-side edges at 0.
+		for _, e := range highEdges {
+			u, v := g.Edge(graph.EdgeID(e))
+			if frozen[u] || frozen[v] {
+				edgeFrozen[e] = true
+				xFinal[e] = xPhase[e]
+				frozenIncident[u] += xPhase[e]
+				frozenIncident[v] += xPhase[e]
+			}
+		}
+		for _, v := range newlyFrozen {
+			for _, e := range g.IncidentEdges(v) {
+				if !edgeFrozen[e] {
+					edgeFrozen[e] = true
+					xFinal[e] = 0
+				}
+			}
+		}
+
+		// Line (2k): recompute residual degrees and the nonfrozen edge count.
+		edgesBefore := nonfrozenEdges
+		for v := 0; v < n; v++ {
+			resDeg[v] = 0
+		}
+		nonfrozenEdges = 0
+		for e := 0; e < mEdges; e++ {
+			if edgeFrozen[e] {
+				continue
+			}
+			u, v := g.Edge(graph.EdgeID(e))
+			resDeg[u]++
+			resDeg[v]++
+			nonfrozenEdges++
+		}
+
+		if float64(nonfrozenEdges) > 0.99*float64(edgesBefore) {
+			stalls++
+		} else {
+			stalls = 0
+		}
+
+		maxLocalEdges, totalLocalEdges := int64(0), int64(0)
+		for _, c := range localEdgeCount {
+			totalLocalEdges += c
+			if c > maxLocalEdges {
+				maxLocalEdges = c
+			}
+		}
+		res.PhaseStats = append(res.PhaseStats, PhaseStat{
+			Phase:               phase,
+			AvgDegree:           d,
+			NumNonfrozen:        numNonfrozen,
+			NumHigh:             len(highList),
+			NumInactive:         numInactive,
+			Machines:            mMach,
+			Iterations:          iters,
+			MaxMachineEdges:     int(maxLocalEdges),
+			TotalMachineEdges:   totalLocalEdges,
+			MaxMachineWords:     cluster.Metrics().MaxResidentWords,
+			EdgesBefore:         edgesBefore,
+			EdgesAfter:          nonfrozenEdges,
+			DecayBound:          float64(n)*d*math.Pow(1-eps, float64(iters)) + float64(n)*dGamma,
+			NewlyFrozenVertices: frozenAtSim + frozenAt2i,
+			FrozenAtLine2i:      frozenAt2i,
+		})
+	}
+	res.Phases = phase
+
+	// Line (3): the residual instance moves to one machine (the gather is
+	// one more round, and the memory charge enforces that it fits) and the
+	// centralized algorithm finishes it.
+	active := make([]bool, n)
+	wresAll := make([]float64, n)
+	numActive := 0
+	for v := 0; v < n; v++ {
+		if frozen[v] {
+			continue
+		}
+		w := g.Weight(graph.Vertex(v)) - frozenIncident[v]
+		if w <= 1e-12*g.Weight(graph.Vertex(v)) {
+			zeroFreeze(graph.Vertex(v))
+			continue
+		}
+		active[v] = true
+		wresAll[v] = w
+		numActive++
+	}
+	var finalEdges int64
+	for e := 0; e < mEdges; e++ {
+		if !edgeFrozen[e] {
+			finalEdges++
+		}
+	}
+	res.FinalPhaseEdges = finalEdges
+	cluster.ResetResident()
+	err = cluster.Round(func(mach *mpc.Machine) error {
+		if mach.ID() == 0 {
+			return mach.Charge(finalEdges*mpc.EdgeRecordWords + int64(numActive)*mpc.VertexRecordWords)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: final gather: %w", err)
+	}
+
+	finalInit := centralized.InitDegreeAware
+	if p.UniformInit {
+		finalInit = centralized.InitUniform
+	}
+	var finalThreshold centralized.ThresholdFunc
+	if p.FixedThresholds {
+		finalThreshold = centralized.FixedThreshold(eps)
+	} else {
+		lo, hi := 1-4*eps, 1-2*eps
+		fp := uint64(phase)
+		finalThreshold = func(v graph.Vertex, t int) float64 {
+			return rng.UniformAt(p.Seed, lo, hi, labelThreshold, fp, uint64(v), uint64(t))
+		}
+	}
+	cres, err := centralized.Run(
+		centralized.Instance{G: g, Active: active, Weights: wresAll},
+		centralized.Options{Epsilon: eps, Init: finalInit, Threshold: finalThreshold},
+	)
+	if err != nil {
+		return nil, fmt.Errorf("core: final centralized phase: %w", err)
+	}
+	res.FinalPhaseIterations = cres.Iterations
+	// The LOCAL algorithm runs inside one machine, so its iterations cost no
+	// additional communication rounds.
+	for v := 0; v < n; v++ {
+		if cres.Cover[v] {
+			frozen[v] = true
+		}
+	}
+	for e := 0; e < mEdges; e++ {
+		if !edgeFrozen[e] {
+			edgeFrozen[e] = true
+			xFinal[e] = cres.X[e]
+		}
+	}
+
+	res.ClusterMetrics = cluster.Metrics()
+	res.Rounds = res.ClusterMetrics.Rounds
+	sortPhaseStats(res.PhaseStats)
+	return res, nil
+}
+
+func sortPhaseStats(ps []PhaseStat) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Phase < ps[j].Phase })
+}

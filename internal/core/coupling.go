@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/centralized"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// CouplingReport quantifies, for one phase, how closely the MPC simulation
+// tracked the centralized algorithm run on the same induced subgraph with
+// identical residual weights, initial duals and thresholds — the exact
+// comparison of Lemma 4.6. All deviations are normalized by w′(v).
+type CouplingReport struct {
+	Phase      int
+	Vertices   int
+	Edges      int
+	Machines   int
+	Iterations int
+	// MaxDevEstimate = max_{v,t} |y_{v,t} − ỹ^MPC_{v,t}| / w′(v); the lemma
+	// proves ≤ 6ε w.h.p.
+	MaxDevEstimate float64
+	// MaxDevY = max_{v,t} |y_{v,t} − y^MPC_{v,t}| / w′(v); also ≤ 6ε.
+	MaxDevY float64
+	// MinOneSided = min over good (v,t) of (ỹ^MPC_{v,t} − y_{v,t}) / w′(v).
+	// With the bias term, Lemma 4.13(3) proves this is ≥ 0 w.h.p.; the
+	// DisableBias ablation shows it going negative.
+	MinOneSided float64
+	// BadVertices counts vertices whose freeze behaviour diverged between
+	// the two algorithms at any point in the phase.
+	BadVertices int
+	// Bound is the lemma's bound 6ε, for direct table comparison.
+	Bound float64
+}
+
+// AnalyzeCoupling replays the captured phase: it runs the centralized
+// algorithm for the same number of iterations on the V^high subgraph with
+// the same randomness, reconstructs the MPC trajectories x^MPC_{e,t} /
+// y^MPC_{v,t} / ỹ^MPC_{v,t} from the recorded freeze iterations, and
+// reports the deviations.
+func AnalyzeCoupling(cp CouplingPhase, p Params) (*CouplingReport, error) {
+	nv := len(cp.High)
+	b := graph.NewBuilder(nv)
+	for i := 0; i < nv; i++ {
+		b.SetWeight(graph.Vertex(i), cp.ResidualWeight[i])
+	}
+	for _, e := range cp.Edges {
+		b.AddEdge(e[0], e[1])
+	}
+	localG, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("core: coupling graph: %w", err)
+	}
+	if localG.NumEdges() != len(cp.Edges) {
+		return nil, fmt.Errorf("core: coupling phase has duplicate edges")
+	}
+	// Map the captured edge order onto the built graph's edge ids.
+	x0 := make([]float64, localG.NumEdges())
+	edgeIdx := make([]graph.EdgeID, len(cp.Edges))
+	for i, e := range cp.Edges {
+		id := localG.EdgeBetween(e[0], e[1])
+		if id < 0 {
+			return nil, fmt.Errorf("core: coupling edge (%d,%d) missing after build", e[0], e[1])
+		}
+		edgeIdx[i] = id
+		x0[id] = cp.X0[i]
+	}
+
+	eps := p.Epsilon
+	lo, hi := 1-4*eps, 1-2*eps
+	threshold := func(v graph.Vertex, t int) float64 {
+		return rng.UniformAt(p.Seed, lo, hi, labelThreshold, uint64(cp.Phase), uint64(cp.High[v]), uint64(t))
+	}
+	if p.FixedThresholds {
+		fixed := 1 - 3*eps
+		threshold = func(graph.Vertex, int) float64 { return fixed }
+	}
+	cres, err := centralized.Run(
+		centralized.Instance{G: localG, X0: x0},
+		centralized.Options{
+			Epsilon:     eps,
+			Threshold:   threshold,
+			StopAfter:   cp.Iterations,
+			RecordTrace: true,
+		},
+	)
+	if err != nil {
+		return nil, fmt.Errorf("core: coupling centralized run: %w", err)
+	}
+	traceAt := func(t int) []float64 {
+		if t >= len(cres.YTrace) {
+			t = len(cres.YTrace) - 1
+		}
+		return cres.YTrace[t]
+	}
+
+	growth := 1 / (1 - eps)
+	iters := cp.Iterations
+	mf := float64(cp.Machines)
+	biasCoeff := p.BiasCoefficient
+	if p.DisableBias {
+		biasCoeff = 0
+	}
+	biasBase := biasCoeff * math.Pow(mf, -0.2)
+
+	// t′_e per captured edge: earliest endpoint freeze in the MPC run.
+	fiOf := func(i int32) int {
+		if fi := cp.FreezeIter[i]; fi >= 0 {
+			return fi
+		}
+		return iters
+	}
+	edgeStop := make([]int, len(cp.Edges))
+	for i, e := range cp.Edges {
+		t := fiOf(e[0])
+		if tv := fiOf(e[1]); tv < t {
+			t = tv
+		}
+		edgeStop[i] = t
+	}
+
+	rep := &CouplingReport{
+		Phase:       cp.Phase,
+		Vertices:    nv,
+		Edges:       len(cp.Edges),
+		Machines:    cp.Machines,
+		Iterations:  iters,
+		MinOneSided: math.Inf(1),
+		Bound:       6 * eps,
+	}
+
+	yMPC := make([]float64, nv)
+	yTilde := make([]float64, nv)
+	pow := 1.0
+	bias := biasBase
+	for t := 0; t <= iters; t++ {
+		for i := range yMPC {
+			yMPC[i] = 0
+			yTilde[i] = 0
+		}
+		for i, e := range cp.Edges {
+			stop := edgeStop[i]
+			x := cp.X0[i]
+			if t <= stop {
+				x *= pow
+			} else {
+				x *= math.Pow(growth, float64(stop))
+			}
+			yMPC[e[0]] += x
+			yMPC[e[1]] += x
+			if cp.MachineOf[e[0]] == cp.MachineOf[e[1]] {
+				yTilde[e[0]] += x
+				yTilde[e[1]] += x
+			}
+		}
+		yCent := traceAt(t)
+		for i := 0; i < nv; i++ {
+			w := cp.ResidualWeight[i]
+			est := bias*w + mf*yTilde[i]
+			devEst := math.Abs(yCent[i]-est) / w
+			devY := math.Abs(yCent[i]-yMPC[i]) / w
+			if devEst > rep.MaxDevEstimate {
+				rep.MaxDevEstimate = devEst
+			}
+			if devY > rep.MaxDevY {
+				rep.MaxDevY = devY
+			}
+			// Good at t: the freeze behaviour has not diverged before t.
+			cf, mpcF := cres.FreezeIter[i], cp.FreezeIter[i]
+			goodAtT := cf == mpcF || (cf < 0 || cf >= t) && (mpcF < 0 || mpcF >= t)
+			if goodAtT {
+				if side := (est - yCent[i]) / w; side < rep.MinOneSided {
+					rep.MinOneSided = side
+				}
+			}
+		}
+		pow *= growth
+		bias *= p.BiasGrowth
+	}
+	for i := 0; i < nv; i++ {
+		if cres.FreezeIter[i] != cp.FreezeIter[i] {
+			rep.BadVertices++
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,176 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/verify"
+)
+
+func TestSolveTriangle(t *testing.T) {
+	g, err := graph.FromEdgeList(3, [][2]graph.Vertex{{0, 1}, {1, 2}, {0, 2}}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover, w, err := Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 3 { // {0,1} with weights 1+2
+		t.Fatalf("triangle OPT %v, want 3", w)
+	}
+	if ok, _ := verify.IsCover(g, cover); !ok {
+		t.Fatal("not a cover")
+	}
+	if verify.CoverWeight(g, cover) != w {
+		t.Fatal("reported weight mismatch")
+	}
+}
+
+func TestSolveStar(t *testing.T) {
+	// Cheap center: OPT = center.
+	b := graph.NewBuilder(6)
+	b.SetWeight(0, 2)
+	for v := 1; v < 6; v++ {
+		b.SetWeight(graph.Vertex(v), 1)
+		b.AddEdge(0, graph.Vertex(v))
+	}
+	g := b.MustBuild()
+	cover, w, err := Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 2 || !cover[0] {
+		t.Fatalf("star OPT %v cover %v", w, cover)
+	}
+	// Expensive center: OPT = all leaves.
+	b2 := graph.NewBuilder(6)
+	b2.SetWeight(0, 100)
+	for v := 1; v < 6; v++ {
+		b2.SetWeight(graph.Vertex(v), 1)
+		b2.AddEdge(0, graph.Vertex(v))
+	}
+	g2 := b2.MustBuild()
+	_, w2, err := Solve(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2 != 5 {
+		t.Fatalf("expensive star OPT %v, want 5", w2)
+	}
+}
+
+func TestSolveEdgeless(t *testing.T) {
+	g := graph.NewBuilder(7).MustBuild()
+	cover, w, err := Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0 {
+		t.Fatalf("edgeless OPT %v", w)
+	}
+	for _, in := range cover {
+		if in {
+			t.Fatal("vertex chosen in edgeless graph")
+		}
+	}
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	src := rng.New(5)
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + src.Intn(9) // 4..12
+		b := graph.NewBuilder(n)
+		for v := 0; v < n; v++ {
+			b.SetWeight(graph.Vertex(v), 0.5+3*src.Float64())
+		}
+		edges := src.Intn(n * (n - 1) / 2)
+		for i := 0; i < edges; i++ {
+			u, v := src.Intn(n), src.Intn(n)
+			if u != v {
+				b.AddEdge(graph.Vertex(u), graph.Vertex(v))
+			}
+		}
+		g := b.MustBuild()
+		cBB, wBB, err := Solve(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, wBF, err := BruteForce(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(wBB-wBF) > 1e-9 {
+			t.Fatalf("trial %d: branch-and-bound %v vs brute force %v", trial, wBB, wBF)
+		}
+		if ok, _ := verify.IsCover(g, cBB); !ok {
+			t.Fatalf("trial %d: B&B result not a cover", trial)
+		}
+	}
+}
+
+func TestSolveCliqueAndBipartite(t *testing.T) {
+	// Unit clique K_n: OPT = n-1.
+	g := gen.Clique(8)
+	_, w, err := Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 7 {
+		t.Fatalf("K8 OPT %v, want 7", w)
+	}
+	// Unit K_{a,b}: OPT = min(a, b).
+	kb := gen.CompleteBipartite(3, 5)
+	_, w, err = Solve(kb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 3 {
+		t.Fatalf("K_{3,5} OPT %v, want 3", w)
+	}
+}
+
+func TestSolveMediumRandom(t *testing.T) {
+	// n=40 exercises the bound pruning; validity + dual sandwich check.
+	g := gen.ApplyWeights(gen.Gnp(9, 40, 0.15), 3, gen.UniformRange{Lo: 1, Hi: 5})
+	cover, w, err := Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := verify.IsCover(g, cover); !ok {
+		t.Fatal("not a cover")
+	}
+	if math.Abs(verify.CoverWeight(g, cover)-w) > 1e-9 {
+		t.Fatal("weight mismatch")
+	}
+}
+
+func TestSolveRejectsTooLarge(t *testing.T) {
+	g := graph.NewBuilder(65).MustBuild()
+	if _, _, err := Solve(g); err == nil {
+		t.Fatal("65-vertex instance accepted")
+	}
+	big := graph.NewBuilder(25).MustBuild()
+	if _, _, err := BruteForce(big); err == nil {
+		t.Fatal("25-vertex brute force accepted")
+	}
+}
+
+func TestSolveAtBitBoundary(t *testing.T) {
+	// Exactly 64 vertices: a perfect matching of 32 unit edges, OPT = 32.
+	b := graph.NewBuilder(64)
+	for i := 0; i < 32; i++ {
+		b.AddEdge(graph.Vertex(2*i), graph.Vertex(2*i+1))
+	}
+	g := b.MustBuild()
+	_, w, err := Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 32 {
+		t.Fatalf("matching OPT %v, want 32", w)
+	}
+}

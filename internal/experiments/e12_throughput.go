@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/stats"
+	"repro/internal/verify"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E12",
+		Title: "wall-clock and quality vs sequential references",
+		Claim: "Sanity scope: the simulated-MPC implementation matches sequential 2-approximations on quality while exposing parallel structure",
+		Run:   runE12,
+	})
+}
+
+func runE12(cfg Config) ([]Renderable, error) {
+	sizes := []struct {
+		n int
+		d float64
+	}{{4000, 32}, {16000, 64}, {32000, 64}}
+	if cfg.Quick {
+		sizes = []struct {
+			n int
+			d float64
+		}{{2000, 24}}
+	}
+	tb := stats.NewTable("E12: wall-clock and certified quality",
+		"n", "m", "algo", "millis", "weight", "cert_ratio")
+	for _, s := range sizes {
+		g := gen.ApplyWeights(gen.GnpAvgDegree(cfg.Seed+uint64(s.n), s.n, s.d), cfg.Seed+36, gen.UniformRange{Lo: 1, Hi: 50})
+
+		start := time.Now()
+		res, err := core.Run(g, core.ParamsPractical(0.1, cfg.Seed+37))
+		if err != nil {
+			return nil, err
+		}
+		mpcMS := time.Since(start).Milliseconds()
+		ratio, err := certifiedRatio(g, res)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(s.n, g.NumEdges(), "mpc", mpcMS, verify.CoverWeight(g, res.Cover), ratio)
+
+		start = time.Now()
+		bye := baselines.BarYehudaEven(g)
+		byeMS := time.Since(start).Milliseconds()
+		byeCert, err := verify.NewCertificate(g, bye.Cover, bye.Duals)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(s.n, g.NumEdges(), "bar-yehuda-even", byeMS, byeCert.Weight, byeCert.Ratio())
+
+		start = time.Now()
+		greedy := baselines.Greedy(g)
+		greedyMS := time.Since(start).Milliseconds()
+		tb.AddRow(s.n, g.NumEdges(), "greedy", greedyMS, verify.CoverWeight(g, greedy.Cover), "-")
+	}
+	return renderables(tb), nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/stats"
+	"repro/internal/verify"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E2",
+		Title: "approximation ratio across families, weight models and ε",
+		Claim: "Theorem 4.7: w(C) ≤ (2+30ε)·OPT w.h.p.",
+		Run:   runE2,
+	})
+}
+
+func runE2(cfg Config) ([]Renderable, error) {
+	n := 4000
+	d := 48.0
+	epsilons := []float64{0.1, 0.05}
+	if cfg.Quick {
+		n = 800
+		epsilons = []float64{0.1}
+	}
+	families := []struct {
+		name  string
+		build func(seed uint64) *graph.Graph
+	}{
+		{"gnp", func(s uint64) *graph.Graph { return gen.GnpAvgDegree(s, n, d) }},
+		{"powerlaw", func(s uint64) *graph.Graph { return gen.PreferentialAttachment(s, n, int(d/2)) }},
+		{"bipartite", func(s uint64) *graph.Graph { return gen.RandomBipartite(s, n/2, n/2, 2*d/float64(n)) }},
+	}
+	models := []gen.WeightModel{
+		gen.Unit{},
+		gen.UniformRange{Lo: 1, Hi: 100},
+		gen.PowerLaw{MaxWeight: 1e9},
+		gen.DegreeCorrelated{Alpha: 1},
+	}
+	tb := stats.NewTable("E2: certified approximation ratio (vs LP dual bound)",
+		"family", "weights", "eps", "ratio", "bound(2+30e)", "alpha", "tightness")
+	for _, fam := range families {
+		for _, model := range models {
+			for _, eps := range epsilons {
+				g := gen.ApplyWeights(fam.build(cfg.Seed+3), cfg.Seed+4, model)
+				res, err := core.Run(g, core.ParamsPractical(eps, cfg.Seed+5))
+				if err != nil {
+					return nil, err
+				}
+				ratio, err := certifiedRatio(g, res)
+				if err != nil {
+					return nil, err
+				}
+				tb.AddRow(fam.name, model.Name(), eps, ratio, 2+30*eps,
+					alphaOf(g, res), res.CoverTightness(g))
+			}
+		}
+	}
+
+	// Against exact OPT on small instances, where the true ratio (not just
+	// the certified upper bound on it) is observable.
+	small := stats.NewTable("E2b: true ratio vs exact OPT (small instances)",
+		"family", "n", "opt", "mpc_weight", "true_ratio", "cert_ratio")
+	smallN := 48
+	trials := 6
+	if cfg.Quick {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		seed := cfg.Seed + uint64(trial)*101
+		g := gen.ApplyWeights(gen.Gnp(seed, smallN, 0.2), seed+1, gen.UniformRange{Lo: 1, Hi: 10})
+		res, err := core.Run(g, core.ParamsPractical(0.1, seed+2))
+		if err != nil {
+			return nil, err
+		}
+		_, opt, err := exact.Solve(g)
+		if err != nil {
+			return nil, err
+		}
+		w := verify.CoverWeight(g, res.Cover)
+		ratio, err := certifiedRatio(g, res)
+		if err != nil {
+			return nil, err
+		}
+		trueRatio := 1.0
+		if opt > 0 {
+			trueRatio = w / opt
+		}
+		small.AddRow("gnp", smallN, opt, w, trueRatio, ratio)
+	}
+	return renderables(tb, small), nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E3",
+		Title: "per-machine memory (max |E[V_i]|) stays O(n)",
+		Claim: "Lemma 4.1: with high probability |E[V_i]| ∈ O(n) for all machines i",
+		Run:   runE3,
+	})
+	register(Experiment{
+		ID:    "E11",
+		Title: "global memory stays Õ(√d·n) ≤ Õ(|E|)",
+		Claim: "Section 4.1 (remark after Lemma 4.1): total memory used is Õ(√d·n) ≤ Õ(|E|)",
+		Run:   runE11,
+	})
+}
+
+func runE3(cfg Config) ([]Renderable, error) {
+	type pt struct{ n, d int }
+	pts := []pt{{4000, 32}, {4000, 128}, {8000, 64}, {8000, 256}, {16000, 128}}
+	if cfg.Quick {
+		pts = []pt{{2000, 32}, {2000, 128}}
+	}
+	tb := stats.NewTable("E3: maximum machine load per phase",
+		"n", "d0", "phase", "machines", "max|E[Vi]|", "max|E[Vi]|/n", "budget_words", "max_words")
+	for _, p := range pts {
+		g := gen.GnpAvgDegree(cfg.Seed+uint64(p.n+p.d), p.n, float64(p.d))
+		params := core.ParamsPractical(0.1, cfg.Seed+6)
+		res, err := core.Run(g, params)
+		if err != nil {
+			return nil, err
+		}
+		budget := params.MemoryWords(p.n)
+		for _, st := range res.PhaseStats {
+			tb.AddRow(p.n, p.d, st.Phase, st.Machines, st.MaxMachineEdges,
+				float64(st.MaxMachineEdges)/float64(p.n), budget, st.MaxMachineWords)
+		}
+	}
+	return renderables(tb), nil
+}
+
+func runE11(cfg Config) ([]Renderable, error) {
+	n := 8000
+	degrees := []float64{32, 128, 512}
+	if cfg.Quick {
+		n = 2000
+		degrees = []float64{32, 128}
+	}
+	tb := stats.NewTable("E11: globally materialized edges per phase vs bounds",
+		"d0", "phase", "machines", "sum|E[Vi]|", "sqrt(d)*n", "|E|")
+	for _, d := range degrees {
+		g := gen.GnpAvgDegree(cfg.Seed+uint64(d)+77, n, d)
+		res, err := core.Run(g, core.ParamsPractical(0.1, cfg.Seed+7))
+		if err != nil {
+			return nil, err
+		}
+		for _, st := range res.PhaseStats {
+			sqrtDN := float64(st.Machines) * float64(n)
+			tb.AddRow(d, st.Phase, st.Machines, st.TotalMachineEdges, sqrtDN, g.NumEdges())
+		}
+	}
+	return renderables(tb), nil
+}

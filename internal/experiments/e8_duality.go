@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"repro/internal/centralized"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/stats"
+	"repro/internal/verify"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E8",
+		Title: "the weak-duality sandwich on exactly solvable instances",
+		Claim: "Lemma 3.2 / Proposition 3.3: Σx_e ≤ OPT ≤ w(C) ≤ (2+10ε)·Σx_e for Algorithm 1",
+		Run:   runE8,
+	})
+}
+
+func runE8(cfg Config) ([]Renderable, error) {
+	eps := 0.1
+	type inst struct {
+		name string
+		g    *graph.Graph
+	}
+	mk := func() []inst {
+		return []inst{
+			{"gnp-unit", gen.Gnp(cfg.Seed+22, 40, 0.2)},
+			{"gnp-weighted", gen.ApplyWeights(gen.Gnp(cfg.Seed+23, 40, 0.2), cfg.Seed+24, gen.UniformRange{Lo: 1, Hi: 10})},
+			{"clique", gen.ApplyWeights(gen.Clique(18), cfg.Seed+25, gen.Exponential{Mean: 3})},
+			{"bipartite", gen.ApplyWeights(gen.CompleteBipartite(9, 14), cfg.Seed+26, gen.UniformRange{Lo: 1, Hi: 5})},
+			{"star", gen.ApplyWeights(gen.Star(30), cfg.Seed+27, gen.UniformRange{Lo: 1, Hi: 4})},
+			{"grid", gen.ApplyWeights(gen.Grid(5, 8), cfg.Seed+28, gen.PowerLaw{MaxWeight: 100})},
+		}
+	}
+	tb := stats.NewTable("E8: dual ≤ OPT ≤ cover ≤ (2+10ε)·dual",
+		"instance", "n", "m", "dual", "opt", "cover", "cover/opt", "cover/dual", "sandwich")
+	for _, in := range mk() {
+		res, err := centralized.Run(centralized.Instance{G: in.g}, centralized.Options{Epsilon: eps, Seed: cfg.Seed + 29})
+		if err != nil {
+			return nil, err
+		}
+		cert, err := verify.NewCertificate(in.g, res.Cover, res.X)
+		if err != nil {
+			return nil, err
+		}
+		_, opt, err := exact.Solve(in.g)
+		if err != nil {
+			return nil, err
+		}
+		ok := cert.Bound <= opt+1e-9 && opt <= cert.Weight+1e-9 && cert.Weight <= (2+10*eps)*cert.Bound+1e-9
+		verdict := "ok"
+		if !ok {
+			verdict = "VIOLATED"
+		}
+		ratioOpt := 1.0
+		if opt > 0 {
+			ratioOpt = cert.Weight / opt
+		}
+		tb.AddRow(in.name, in.g.NumVertices(), in.g.NumEdges(),
+			cert.Bound, opt, cert.Weight, ratioOpt, cert.Ratio(), verdict)
+	}
+	return renderables(tb), nil
+}

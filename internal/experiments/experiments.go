@@ -1,0 +1,96 @@
+// Package experiments contains the evaluation harness. The paper is a
+// theory paper — it proves claims instead of tabulating measurements — so
+// every theorem and lemma of its analysis becomes a registered experiment
+// that regenerates a table. EXPERIMENTS.md records paper-claim vs measured
+// for each; `cmd/mwvc-bench` reruns any or all of them, and the root
+// bench_test.go exposes each as a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Quick shrinks instance sizes so the whole suite finishes in seconds —
+	// used by unit tests and the bench harness's default mode. Full-size
+	// runs are what EXPERIMENTS.md records.
+	Quick bool
+	// Seed makes the whole suite reproducible.
+	Seed uint64
+}
+
+// Experiment is one registered reproduction target.
+type Experiment struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "E1").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Claim cites the paper statement being reproduced.
+	Claim string
+	// Run executes the experiment and returns the result artifacts: tables
+	// and, for the claims a paper would plot, ASCII charts.
+	Run func(cfg Config) ([]Renderable, error)
+}
+
+// Renderable is anything an experiment can emit — *stats.Table and
+// *stats.Chart both satisfy it.
+type Renderable interface {
+	Render(w io.Writer) error
+}
+
+// renderables packs artifacts for an experiment's return.
+func renderables(items ...Renderable) []Renderable { return items }
+
+var registry []Experiment
+
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// All returns the registered experiments sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool {
+		// E1 < E2 < ... < E10 < E11: compare by numeric suffix.
+		return idNum(out[i].ID) < idNum(out[j].ID)
+	})
+	return out
+}
+
+func idNum(id string) int {
+	n := 0
+	for _, c := range id {
+		if c >= '0' && c <= '9' {
+			n = n*10 + int(c-'0')
+		}
+	}
+	return n
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAndRender executes the experiment and renders its tables to w.
+func (e Experiment) RunAndRender(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "## %s — %s\n\nClaim (%s)\n\n", e.ID, e.Title, e.Claim)
+	arts, err := e.Run(cfg)
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	for _, a := range arts {
+		if err := a.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("%d experiments registered, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Fatalf("position %d: %s, want %s", i, all[i].ID, id)
+		}
+		if all[i].Title == "" || all[i].Claim == "" || all[i].Run == nil {
+			t.Fatalf("%s: incomplete registration", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E1"); !ok {
+		t.Fatal("E1 missing")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("E99 found")
+	}
+}
+
+// TestAllExperimentsQuick runs every experiment in quick mode: the tables
+// must be produced without error and contain data rows. This is the
+// integration test of the whole stack (generators → algorithms → metrics).
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment suite skipped in -short mode")
+	}
+	cfg := Config{Quick: true, Seed: 1}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			arts, err := e.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nTables := 0
+			for _, a := range arts {
+				if tb, ok := a.(*stats.Table); ok {
+					nTables++
+					if tb.NumRows() == 0 {
+						t.Fatalf("table %q has no rows", tb.Title)
+					}
+				}
+			}
+			if nTables == 0 {
+				t.Fatal("no tables")
+			}
+		})
+	}
+}
+
+func TestRunAndRender(t *testing.T) {
+	e, _ := ByID("E8") // fast even in full mode
+	var sb strings.Builder
+	if err := e.RunAndRender(&sb, Config{Quick: true, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"## E8", "Lemma 3.2", "| instance"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "VIOLATED") {
+		t.Fatalf("duality sandwich violated:\n%s", out)
+	}
+}
+
+func TestIDNum(t *testing.T) {
+	if idNum("E2") != 2 || idNum("E11") != 11 {
+		t.Fatal("idNum broken")
+	}
+}

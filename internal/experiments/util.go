@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+func log2(x float64) float64 { return math.Log2(x) }
+
+func logf(x float64) float64 { return math.Log(x) }
+
+// certifiedRatio validates an Algorithm 2 result against g and returns the
+// certified approximation ratio (cover weight over the rescaled feasible
+// dual value).
+func certifiedRatio(g *graph.Graph, res *core.Result) (float64, error) {
+	scaled, _ := res.FeasibleDual(g)
+	cert, err := verify.NewCertificate(g, res.Cover, scaled)
+	if err != nil {
+		return 0, err
+	}
+	return cert.Ratio(), nil
+}
+
+// alphaOf returns the dual violation factor of an Algorithm 2 result.
+func alphaOf(g *graph.Graph, res *core.Result) float64 {
+	_, alpha := res.FeasibleDual(g)
+	return alpha
+}

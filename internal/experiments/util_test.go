@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func TestShortErr(t *testing.T) {
+	if got := shortErr(errors.New("a: b: the tail")); got != "the tail" {
+		t.Fatalf("shortErr = %q", got)
+	}
+	if got := shortErr(errors.New("no colons")); got != "no colons" {
+		t.Fatalf("shortErr = %q", got)
+	}
+}
+
+func TestLastIndex(t *testing.T) {
+	if lastIndex("a: b: c", ": ") != 4 {
+		t.Fatal("lastIndex wrong")
+	}
+	if lastIndex("abc", ": ") != -1 {
+		t.Fatal("lastIndex should be -1")
+	}
+	if lastIndex("", "x") != -1 {
+		t.Fatal("empty haystack")
+	}
+}
+
+func TestCertifiedRatioHelpers(t *testing.T) {
+	g := gen.GnpAvgDegree(1, 300, 12)
+	res, err := core.Run(g, core.ParamsPractical(0.1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, err := certifiedRatio(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 1 || ratio > 5 {
+		t.Fatalf("ratio %v implausible", ratio)
+	}
+	if a := alphaOf(g, res); a < 1 || a > 3 {
+		t.Fatalf("alpha %v implausible", a)
+	}
+}
+
+func TestStalledHelper(t *testing.T) {
+	res := &core.Result{PhaseStats: []core.PhaseStat{
+		{EdgesBefore: 100, EdgesAfter: 100},
+		{EdgesBefore: 100, EdgesAfter: 100},
+		{EdgesBefore: 100, EdgesAfter: 100},
+	}}
+	if stalled(res) != "yes" {
+		t.Fatal("three no-progress phases not flagged")
+	}
+	res2 := &core.Result{PhaseStats: []core.PhaseStat{
+		{EdgesBefore: 100, EdgesAfter: 10},
+	}}
+	if stalled(res2) != "no" {
+		t.Fatal("productive run flagged as stalled")
+	}
+}
+
+func TestUncoveredError(t *testing.T) {
+	e := &uncoveredError{edge: 3}
+	if e.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}

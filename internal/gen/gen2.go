@@ -1,0 +1,78 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// RMAT returns an R-MAT (recursive matrix) graph on 2^scale vertices with
+// edgeFactor·2^scale edges, the generator behind the Graph500 benchmark and
+// a staple of MPC evaluations. (a, b, c) are the recursive quadrant
+// probabilities (d = 1−a−b−c); the canonical Graph500 values are
+// (0.57, 0.19, 0.19). Self-loops and duplicates are dropped by the builder,
+// so the realized edge count is slightly below the nominal one.
+func RMAT(seed uint64, scale, edgeFactor int, a, b, c float64) *graph.Graph {
+	if scale < 1 || scale > 30 {
+		panic(fmt.Sprintf("gen: RMAT scale %d out of [1,30]", scale))
+	}
+	d := 1 - a - b - c
+	if a < 0 || b < 0 || c < 0 || d < 0 {
+		panic(fmt.Sprintf("gen: RMAT probabilities (%v,%v,%v) invalid", a, b, c))
+	}
+	n := 1 << uint(scale)
+	src := rng.New(seed).Split('r', 'm', 'a', 't')
+	bld := graph.NewBuilder(n)
+	for i := 0; i < edgeFactor*n; i++ {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := src.Float64()
+			switch {
+			case r < a:
+				// top-left: no bits set
+			case r < a+b:
+				v |= 1 << uint(bit)
+			case r < a+b+c:
+				u |= 1 << uint(bit)
+			default:
+				u |= 1 << uint(bit)
+				v |= 1 << uint(bit)
+			}
+		}
+		if u != v {
+			bld.AddEdge(graph.Vertex(u), graph.Vertex(v))
+		}
+	}
+	return bld.MustBuild()
+}
+
+// WattsStrogatz returns a small-world graph: a ring lattice where every
+// vertex connects to its k nearest neighbors on each side, with each edge
+// rewired to a random endpoint with probability beta. beta=0 is the pure
+// lattice (high clustering, huge diameter); beta=1 is essentially random.
+func WattsStrogatz(seed uint64, n, k int, beta float64) *graph.Graph {
+	if k < 1 || 2*k >= n {
+		panic(fmt.Sprintf("gen: WattsStrogatz k=%d invalid for n=%d", k, n))
+	}
+	if beta < 0 || beta > 1 {
+		panic(fmt.Sprintf("gen: WattsStrogatz beta=%v out of [0,1]", beta))
+	}
+	src := rng.New(seed).Split('w', 's')
+	bld := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k; j++ {
+			u := (v + j) % n
+			if src.Float64() < beta {
+				// Rewire the far endpoint uniformly (avoiding the trivial
+				// self-loop; duplicate edges collapse in the builder).
+				u = src.Intn(n)
+				if u == v {
+					u = (u + 1) % n
+				}
+			}
+			bld.AddEdge(graph.Vertex(v), graph.Vertex(u))
+		}
+	}
+	return bld.MustBuild()
+}

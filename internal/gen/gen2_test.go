@@ -1,0 +1,92 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRMAT(t *testing.T) {
+	g := RMAT(7, 12, 8, 0.57, 0.19, 0.19)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := 1 << 12
+	if g.NumVertices() != n {
+		t.Fatalf("n=%d, want %d", g.NumVertices(), n)
+	}
+	// Nominal 8n edges minus self-loops/dups: expect a substantial fraction.
+	if g.NumEdges() < 4*n {
+		t.Fatalf("only %d edges survived, want ≥ %d", g.NumEdges(), 4*n)
+	}
+	// R-MAT with skewed quadrants is heavy-tailed.
+	if g.MaxDegree() < 4*int(g.AverageDegree()) {
+		t.Fatalf("R-MAT not heavy-tailed: max %d avg %.1f", g.MaxDegree(), g.AverageDegree())
+	}
+	// Determinism.
+	h := RMAT(7, 12, 8, 0.57, 0.19, 0.19)
+	if h.NumEdges() != g.NumEdges() {
+		t.Fatal("R-MAT not deterministic")
+	}
+}
+
+func TestRMATValidation(t *testing.T) {
+	for _, bad := range []func(){
+		func() { RMAT(1, 0, 1, 0.5, 0.2, 0.2) },
+		func() { RMAT(1, 31, 1, 0.5, 0.2, 0.2) },
+		func() { RMAT(1, 4, 1, 0.6, 0.3, 0.3) }, // d < 0
+		func() { RMAT(1, 4, 1, -0.1, 0.5, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid RMAT parameters accepted")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	// beta = 0: pure ring lattice, everyone has degree exactly 2k.
+	g := WattsStrogatz(3, 100, 3, 0)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 100; v++ {
+		if d := g.Degree(graph.Vertex(v)); d != 6 {
+			t.Fatalf("lattice vertex %d degree %d, want 6", v, d)
+		}
+	}
+	// beta = 0.3: same edge budget (minus collapsed duplicates), degree
+	// spread appears.
+	h := WattsStrogatz(3, 100, 3, 0.3)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() > g.NumEdges() {
+		t.Fatal("rewiring created edges")
+	}
+	if h.MaxDegree() <= 6 {
+		t.Log("note: no degree spread after rewiring (possible but unusual)")
+	}
+}
+
+func TestWattsStrogatzValidation(t *testing.T) {
+	for _, bad := range []func(){
+		func() { WattsStrogatz(1, 10, 0, 0.1) },
+		func() { WattsStrogatz(1, 10, 5, 0.1) },
+		func() { WattsStrogatz(1, 10, 2, -0.1) },
+		func() { WattsStrogatz(1, 10, 2, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid WattsStrogatz parameters accepted")
+				}
+			}()
+			bad()
+		}()
+	}
+}

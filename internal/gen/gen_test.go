@@ -1,0 +1,273 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestGnpDeterministic(t *testing.T) {
+	a := Gnp(7, 200, 0.05)
+	b := Gnp(7, 200, 0.05)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	for e := 0; e < a.NumEdges(); e++ {
+		u1, v1 := a.Edge(graph.EdgeID(e))
+		u2, v2 := b.Edge(graph.EdgeID(e))
+		if u1 != u2 || v1 != v2 {
+			t.Fatalf("same seed, different edge %d", e)
+		}
+	}
+	c := Gnp(8, 200, 0.05)
+	if c.NumEdges() == a.NumEdges() {
+		// Edge counts can coincide; check structure too before failing.
+		same := true
+		for e := 0; e < a.NumEdges(); e++ {
+			u1, v1 := a.Edge(graph.EdgeID(e))
+			u2, v2 := c.Edge(graph.EdgeID(e))
+			if u1 != u2 || v1 != v2 {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestGnpEdgeCountConcentration(t *testing.T) {
+	n, p := 500, 0.04
+	g := Gnp(3, n, p)
+	expected := p * float64(n) * float64(n-1) / 2
+	stddev := math.Sqrt(expected * (1 - p))
+	if d := math.Abs(float64(g.NumEdges()) - expected); d > 6*stddev {
+		t.Fatalf("edge count %d deviates from mean %.0f by %.1f stddevs", g.NumEdges(), expected, d/stddev)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGnpExtremes(t *testing.T) {
+	if g := Gnp(1, 50, 0); g.NumEdges() != 0 {
+		t.Fatalf("G(n,0) has %d edges", g.NumEdges())
+	}
+	if g := Gnp(1, 20, 1); g.NumEdges() != 20*19/2 {
+		t.Fatalf("G(n,1) has %d edges, want %d", g.NumEdges(), 20*19/2)
+	}
+	if g := Gnp(1, 0, 0.5); g.NumVertices() != 0 {
+		t.Fatal("G(0,p) not empty")
+	}
+	if g := Gnp(1, 1, 0.5); g.NumEdges() != 0 {
+		t.Fatal("G(1,p) has edges")
+	}
+}
+
+func TestGnpAvgDegree(t *testing.T) {
+	g := GnpAvgDegree(5, 2000, 16)
+	if d := g.AverageDegree(); math.Abs(d-16) > 2 {
+		t.Fatalf("average degree %v, want ~16", d)
+	}
+	// Cap at complete graph when d >= n-1.
+	h := GnpAvgDegree(5, 10, 100)
+	if h.NumEdges() != 45 {
+		t.Fatalf("saturated GnpAvgDegree has %d edges, want 45", h.NumEdges())
+	}
+	if tiny := GnpAvgDegree(5, 1, 3); tiny.NumVertices() != 1 || tiny.NumEdges() != 0 {
+		t.Fatal("GnpAvgDegree(n=1) wrong")
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	g := PreferentialAttachment(11, 1000, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// m ≈ (n-k)·k once past the bootstrap.
+	if g.NumEdges() < 2900 || g.NumEdges() > 3000 {
+		t.Fatalf("PA edge count %d outside expected band", g.NumEdges())
+	}
+	// Heavy tail: max degree far above average.
+	if g.MaxDegree() < 3*int(g.AverageDegree()) {
+		t.Fatalf("PA max degree %d not heavy-tailed (avg %.1f)", g.MaxDegree(), g.AverageDegree())
+	}
+	// Determinism.
+	h := PreferentialAttachment(11, 1000, 3)
+	if h.NumEdges() != g.NumEdges() {
+		t.Fatal("PA not deterministic")
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		u1, v1 := g.Edge(graph.EdgeID(e))
+		u2, v2 := h.Edge(graph.EdgeID(e))
+		if u1 != u2 || v1 != v2 {
+			t.Fatal("PA not deterministic (edges differ)")
+		}
+	}
+}
+
+func TestRandomBipartite(t *testing.T) {
+	nl, nr, p := 80, 120, 0.1
+	g := RandomBipartite(2, nl, nr, p)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		u, v := g.Edge(graph.EdgeID(e))
+		left := func(x graph.Vertex) bool { return int(x) < nl }
+		if left(u) == left(v) {
+			t.Fatalf("edge (%d,%d) not crossing the bipartition", u, v)
+		}
+	}
+	expected := p * float64(nl) * float64(nr)
+	stddev := math.Sqrt(expected * (1 - p))
+	if d := math.Abs(float64(g.NumEdges()) - expected); d > 6*stddev {
+		t.Fatalf("bipartite edge count %d deviates from %.0f", g.NumEdges(), expected)
+	}
+	if k := RandomBipartite(2, 3, 4, 1); k.NumEdges() != 12 {
+		t.Fatalf("complete bipartite via p=1 has %d edges", k.NumEdges())
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	n, d := 500, 8
+	g := RandomRegular(21, n, d)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Nearly all vertices should reach degree d; allow small deficit from
+	// rejected self-loops/duplicates.
+	short := 0
+	for v := 0; v < n; v++ {
+		dv := g.Degree(graph.Vertex(v))
+		if dv > d {
+			t.Fatalf("vertex %d degree %d exceeds d=%d", v, dv, d)
+		}
+		if dv < d {
+			short++
+		}
+	}
+	if short > n/10 {
+		t.Fatalf("%d/%d vertices below target degree", short, n)
+	}
+}
+
+func TestStructuredGraphs(t *testing.T) {
+	if g := Grid(3, 4); g.NumVertices() != 12 || g.NumEdges() != 3*3+2*4 {
+		t.Fatalf("grid sizes wrong: n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g := Star(6); g.NumEdges() != 5 || g.Degree(0) != 5 {
+		t.Fatal("star wrong")
+	}
+	if g := Clique(6); g.NumEdges() != 15 {
+		t.Fatal("clique wrong")
+	}
+	if g := Path(5); g.NumEdges() != 4 {
+		t.Fatal("path wrong")
+	}
+	if g := Cycle(5); g.NumEdges() != 5 || g.MaxDegree() != 2 {
+		t.Fatal("cycle wrong")
+	}
+	if g := CompleteBipartite(3, 4); g.NumEdges() != 12 {
+		t.Fatal("complete bipartite wrong")
+	}
+	for _, g := range []*graph.Graph{Grid(5, 5), Star(9), Clique(7), Path(9), Cycle(9), CompleteBipartite(4, 5)} {
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPlantedCoverCovers(t *testing.T) {
+	g, cover := PlantedCover(9, 400, 40, 2000, 1, 100)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	in := make([]bool, g.NumVertices())
+	for _, v := range cover {
+		in[v] = true
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		u, v := g.Edge(graph.EdgeID(e))
+		if !in[u] && !in[v] {
+			t.Fatalf("edge (%d,%d) not covered by planted set", u, v)
+		}
+	}
+	// Planted vertices should be much cheaper on average.
+	var inW, outW float64
+	var inN, outN int
+	for v := 0; v < g.NumVertices(); v++ {
+		if in[v] {
+			inW += g.Weight(graph.Vertex(v))
+			inN++
+		} else {
+			outW += g.Weight(graph.Vertex(v))
+			outN++
+		}
+	}
+	if inW/float64(inN) > outW/float64(outN)/10 {
+		t.Fatalf("planted cover not cheap: avg in=%.2f out=%.2f", inW/float64(inN), outW/float64(outN))
+	}
+}
+
+func TestWeightModels(t *testing.T) {
+	g := Gnp(4, 300, 0.05)
+	for _, m := range StandardModels() {
+		h := ApplyWeights(g, 77, m)
+		if h.NumVertices() != g.NumVertices() || h.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: ApplyWeights changed structure", m.Name())
+		}
+		for v := 0; v < h.NumVertices(); v++ {
+			w := h.Weight(graph.Vertex(v))
+			if !(w > 0) || math.IsInf(w, 0) || math.IsNaN(w) {
+				t.Fatalf("%s: weight of %d is %v", m.Name(), v, w)
+			}
+		}
+		// Deterministic per (seed, vertex).
+		h2 := ApplyWeights(g, 77, m)
+		for v := 0; v < h.NumVertices(); v++ {
+			if h.Weight(graph.Vertex(v)) != h2.Weight(graph.Vertex(v)) {
+				t.Fatalf("%s: weights not deterministic", m.Name())
+			}
+		}
+	}
+}
+
+func TestUnitModel(t *testing.T) {
+	g := ApplyWeights(Gnp(1, 50, 0.1), 1, Unit{})
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Weight(graph.Vertex(v)) != 1 {
+			t.Fatal("unit model produced non-unit weight")
+		}
+	}
+}
+
+func TestPowerLawRange(t *testing.T) {
+	m := PowerLaw{MaxWeight: 1e9}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for v := graph.Vertex(0); v < 20000; v++ {
+		w := m.Sample(3, v, 0)
+		if w < 1 || w >= 1e9 {
+			t.Fatalf("PowerLaw weight %v out of [1, 1e9)", w)
+		}
+		lo, hi = math.Min(lo, w), math.Max(hi, w)
+	}
+	if lo > 10 || hi < 1e7 {
+		t.Fatalf("PowerLaw range poorly spread: [%g, %g]", lo, hi)
+	}
+}
+
+func TestDegreeCorrelated(t *testing.T) {
+	m := DegreeCorrelated{Alpha: 1}
+	wLow := m.Sample(1, 0, 1)
+	wHigh := m.Sample(1, 0, 1000)
+	if wHigh <= wLow {
+		t.Fatalf("degree-correlated weights not increasing: %v vs %v", wLow, wHigh)
+	}
+	inv := DegreeCorrelated{Alpha: -1}
+	if inv.Sample(1, 0, 1000) >= inv.Sample(1, 0, 1) {
+		t.Fatal("negative alpha not decreasing")
+	}
+}

@@ -1,0 +1,97 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// WeightModel names a vertex-weight distribution. The weighted vertex-cover
+// problem is sensitive to weight skew: the paper's key observation is that
+// the classic uniform dual initialization costs O(log(Wn)) iterations where
+// W = max weight, so models here deliberately include huge dynamic ranges.
+type WeightModel interface {
+	// Sample returns the weight of vertex v (degree deg) for the given seed.
+	Sample(seed uint64, v graph.Vertex, deg int) float64
+	// Name returns a short identifier used in experiment tables.
+	Name() string
+}
+
+// Unit gives every vertex weight 1, reducing MWVC to minimum cardinality
+// vertex cover (the GGK+18 setting).
+type Unit struct{}
+
+func (Unit) Sample(uint64, graph.Vertex, int) float64 { return 1 }
+func (Unit) Name() string                             { return "unit" }
+
+// UniformRange draws weights uniformly from [Lo, Hi).
+type UniformRange struct{ Lo, Hi float64 }
+
+func (m UniformRange) Sample(seed uint64, v graph.Vertex, _ int) float64 {
+	return rng.UniformAt(seed, m.Lo, m.Hi, 'w', uint64(v))
+}
+func (m UniformRange) Name() string { return fmt.Sprintf("uniform[%g,%g)", m.Lo, m.Hi) }
+
+// Exponential draws weights from an exponential distribution with the given
+// mean (shifted by a small floor so weights stay strictly positive).
+type Exponential struct{ Mean float64 }
+
+func (m Exponential) Sample(seed uint64, v graph.Vertex, _ int) float64 {
+	u := rng.UniformAt(seed, 0, 1, 'e', uint64(v))
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return 1e-6 + m.Mean*(-math.Log(1-u))
+}
+func (m Exponential) Name() string { return fmt.Sprintf("exp(mean=%g)", m.Mean) }
+
+// PowerLaw draws weights as W^U for U uniform in [0,1), i.e. log-uniform
+// over [1, W). With W=1e9 this exercises the weight ranges where the
+// classic 1/n initialization needs Θ(log(nW)) iterations.
+type PowerLaw struct{ MaxWeight float64 }
+
+func (m PowerLaw) Sample(seed uint64, v graph.Vertex, _ int) float64 {
+	u := rng.UniformAt(seed, 0, 1, 'p', uint64(v))
+	return math.Pow(m.MaxWeight, u)
+}
+func (m PowerLaw) Name() string { return fmt.Sprintf("loguniform[1,%.0g)", m.MaxWeight) }
+
+// DegreeCorrelated makes weight proportional to (1+deg)^Alpha, scaled by a
+// uniform factor in [0.5, 1.5). Positive Alpha makes hubs expensive (covers
+// prefer leaves); negative Alpha makes hubs cheap. Both directions stress
+// the w/d orientation argument differently.
+type DegreeCorrelated struct{ Alpha float64 }
+
+func (m DegreeCorrelated) Sample(seed uint64, v graph.Vertex, deg int) float64 {
+	jitter := rng.UniformAt(seed, 0.5, 1.5, 'd', uint64(v))
+	return jitter * math.Pow(1+float64(deg), m.Alpha)
+}
+func (m DegreeCorrelated) Name() string { return fmt.Sprintf("degree^%g", m.Alpha) }
+
+// ApplyWeights returns a copy of g whose vertex weights are drawn from the
+// model with the given seed.
+func ApplyWeights(g *graph.Graph, seed uint64, model WeightModel) *graph.Graph {
+	w := make([]float64, g.NumVertices())
+	for v := range w {
+		w[v] = model.Sample(seed, graph.Vertex(v), g.Degree(graph.Vertex(v)))
+	}
+	h, err := g.WithWeights(w)
+	if err != nil {
+		panic(fmt.Sprintf("gen: weight model %s produced invalid weight: %v", model.Name(), err))
+	}
+	return h
+}
+
+// StandardModels returns the weight models used by the experiment sweeps.
+func StandardModels() []WeightModel {
+	return []WeightModel{
+		Unit{},
+		UniformRange{Lo: 1, Hi: 100},
+		Exponential{Mean: 10},
+		PowerLaw{MaxWeight: 1e9},
+		DegreeCorrelated{Alpha: 1},
+		DegreeCorrelated{Alpha: -1},
+	}
+}

@@ -1,0 +1,286 @@
+// Package ggk implements the unweighted (2+ε)-approximate vertex cover
+// round-compression algorithm of Ghaffari, Gouleakis, Konrad, Mitrović and
+// Rubinfeld (PODC 2018) as recapped in Section 3.2 of the paper. It is the
+// direct ancestor of Algorithm 2 and the baseline that defines what the
+// weighted generalization had to preserve.
+//
+// Structure (everything per the paper's recap):
+//
+//   - dual variables start at x_e = 1/n and *keep growing across phases*:
+//     all active edges share the weight x_t = (1/n)/(1−ε)^t for a global
+//     iteration counter t. (Contrast with the weighted Algorithm 2, which
+//     re-initializes duals per phase from residual weights — re-initializing
+//     uniform duals would discard all progress, which is why the "uniform
+//     init" ablation of the weighted algorithm stalls while this algorithm
+//     does not.)
+//   - a vertex's behaviour depends only on its active degree: with unit
+//     weights, y_{v,t} = activeDeg(v)·x_t, so the freeze test
+//     y ≥ T_{v,t}·1 is a degree threshold.
+//   - phases: while the maximum active degree δ exceeds polylog(n),
+//     partition the vertices over m = √δ machines and locally simulate
+//     Θ(log m) iterations, estimating the active degree by m× the local
+//     active degree; then reconcile freezes globally and repeat. The
+//     maximum degree drops polynomially per phase ⇒ O(log log δ) phases.
+//
+// The phase schedule and communication pattern are identical to the
+// weighted algorithm's (aggregate, share, scatter, simulate, collect), so
+// rounds are accounted on the same 5-per-phase + 1 schedule that
+// internal/core executes through the substrate.
+package ggk
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Result of a run.
+type Result struct {
+	// Cover marks the frozen vertices.
+	Cover []bool
+	// X holds the finalized dual weights (a near-feasible fractional
+	// matching; rescale by Alpha for exact feasibility).
+	X []float64
+	// Alpha is the dual violation factor max_v Σ_{e∋v} x_e (unit weights).
+	Alpha float64
+	// Phases and Rounds use the same accounting as the weighted algorithm.
+	Phases int
+	Rounds int
+	// GlobalIterations is the final value of the cross-phase counter t.
+	GlobalIterations int
+}
+
+// Run executes the unweighted round-compression algorithm. The graph must
+// have unit weights (the algorithm's analysis is degree-based).
+func Run(g *graph.Graph, epsilon float64, seed uint64) (*Result, error) {
+	if g == nil {
+		return nil, errors.New("ggk: nil graph")
+	}
+	if epsilon <= 0 || epsilon > 0.125 {
+		return nil, fmt.Errorf("ggk: epsilon %v out of (0, 0.125]", epsilon)
+	}
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		if g.Weight(graph.Vertex(v)) != 1 {
+			return nil, fmt.Errorf("ggk: vertex %d has weight %v; the unweighted algorithm requires unit weights", v, g.Weight(graph.Vertex(v)))
+		}
+	}
+	m := g.NumEdges()
+	res := &Result{
+		Cover: make([]bool, n),
+		X:     make([]float64, m),
+		Alpha: 1,
+	}
+	if n == 0 || m == 0 {
+		return res, nil
+	}
+
+	growth := 1 / (1 - epsilon)
+	lo, hi := 1-4*epsilon, 1-2*epsilon
+	frozen := res.Cover
+	edgeFrozen := make([]bool, m)
+	activeDeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		activeDeg[v] = g.Degree(graph.Vertex(v))
+	}
+	maxDeg := func() int {
+		d := 0
+		for v := 0; v < n; v++ {
+			if !frozen[v] && activeDeg[v] > d {
+				d = activeDeg[v]
+			}
+		}
+		return d
+	}
+	// Freeze v at global iteration t: finalize its active edges at x_t.
+	xAt := func(t int) float64 { return math.Pow(growth, float64(t)) / float64(n) }
+	freeze := func(v graph.Vertex, t int) {
+		frozen[v] = true
+		for _, e := range g.IncidentEdges(v) {
+			if edgeFrozen[e] {
+				continue
+			}
+			edgeFrozen[e] = true
+			res.X[e] = xAt(t)
+			u := g.Other(e, v)
+			activeDeg[u]--
+			activeDeg[v]--
+		}
+	}
+
+	switchAt := math.Max(8, 2*math.Log2(math.Max(2, float64(n))))
+	t := 0
+	phase := 0
+	maxPhases := 64
+	for {
+		delta := maxDeg()
+		if float64(delta) <= switchAt {
+			break
+		}
+		if phase >= maxPhases {
+			return nil, fmt.Errorf("ggk: no convergence after %d phases (δ=%d)", phase, delta)
+		}
+		mMach := int(math.Round(math.Sqrt(float64(delta))))
+		if mMach < 2 {
+			mMach = 2
+		}
+		iters := int(math.Floor(0.5 * math.Log(float64(mMach)) / math.Log(growth)))
+		if iters < 2 {
+			iters = 2
+		}
+
+		// Partition the nonfrozen vertices; each machine simulates `iters`
+		// iterations on its induced subgraph with the scaled-degree
+		// estimator. Machine-local work is reproduced faithfully; the
+		// communication pattern matches internal/core's measured 5-round
+		// schedule, accounted below.
+		machineOf := make([]int32, n)
+		for v := 0; v < n; v++ {
+			if !frozen[v] {
+				machineOf[v] = int32(rng.ChooseAt(seed, mMach, 'G', uint64(phase), uint64(v)))
+			} else {
+				machineOf[v] = -1
+			}
+		}
+		// localDeg[v]: active neighbors on v's own machine.
+		localDeg := make([]int, n)
+		for e := 0; e < m; e++ {
+			if edgeFrozen[e] {
+				continue
+			}
+			u, v := g.Edge(graph.EdgeID(e))
+			if machineOf[u] >= 0 && machineOf[u] == machineOf[v] {
+				localDeg[u]++
+				localDeg[v]++
+			}
+		}
+		// Local simulation: I iterations of the degree-threshold test with
+		// the m-scaled estimator ŷ = m·localDeg·x_t.
+		freezeIter := make([]int32, n)
+		for v := range freezeIter {
+			freezeIter[v] = -1
+		}
+		localActive := make([]bool, n)
+		for v := 0; v < n; v++ {
+			localActive[v] = !frozen[v]
+		}
+		for it := 0; it < iters; it++ {
+			x := xAt(t + it)
+			var toFreeze []graph.Vertex
+			for v := 0; v < n; v++ {
+				if !localActive[v] || machineOf[v] < 0 {
+					continue
+				}
+				est := float64(mMach) * float64(localDeg[v]) * x
+				th := rng.UniformAt(seed, lo, hi, 'T', uint64(phase), uint64(v), uint64(it))
+				if est >= th {
+					toFreeze = append(toFreeze, graph.Vertex(v))
+				}
+			}
+			for _, v := range toFreeze {
+				localActive[v] = false
+				freezeIter[v] = int32(it)
+			}
+			// Local degree updates: frozen vertices remove their local
+			// edges (only same-machine edges are visible locally).
+			for _, v := range toFreeze {
+				for _, u := range g.Neighbors(v) {
+					if machineOf[u] == machineOf[v] && localActive[u] {
+						localDeg[u]--
+					}
+				}
+			}
+		}
+
+		// Reconciliation: edges of E with a locally frozen endpoint are
+		// finalized at the earliest endpoint freeze — vertices are processed
+		// in freeze-iteration order so a shared edge takes the earlier
+		// endpoint's weight. Over-covered vertices freeze too (the
+		// unweighted Line (2i) analogue: active degree at the post-phase
+		// weight already implies y ≥ 1).
+		for it := 0; it < iters; it++ {
+			for v := 0; v < n; v++ {
+				if freezeIter[v] == int32(it) {
+					freeze(graph.Vertex(v), t+it)
+				}
+			}
+		}
+		tEnd := t + iters
+		xEnd := xAt(tEnd)
+		for v := 0; v < n; v++ {
+			if !frozen[v] && float64(activeDeg[v])*xEnd >= 1 {
+				freeze(graph.Vertex(v), tEnd)
+			}
+		}
+		t = tEnd
+		phase++
+	}
+	res.Phases = phase
+	res.Rounds = phase*5 + 1
+
+	// Final phase: run the remaining iterations centrally until no active
+	// edges remain.
+	remaining := 0
+	for e := 0; e < m; e++ {
+		if !edgeFrozen[e] {
+			remaining++
+		}
+	}
+	maxT := t + 10 + int(math.Ceil(math.Log(float64(n))/math.Log(growth)))
+	for remaining > 0 && t < maxT {
+		x := xAt(t)
+		var toFreeze []graph.Vertex
+		for v := 0; v < n; v++ {
+			if frozen[v] || activeDeg[v] == 0 {
+				continue
+			}
+			th := rng.UniformAt(seed, lo, hi, 'F', uint64(v), uint64(t))
+			if float64(activeDeg[v])*x >= th {
+				toFreeze = append(toFreeze, graph.Vertex(v))
+			}
+		}
+		for _, v := range toFreeze {
+			if !frozen[v] {
+				freeze(v, t)
+			}
+		}
+		remaining = 0
+		for e := 0; e < m; e++ {
+			if !edgeFrozen[e] {
+				remaining++
+			}
+		}
+		t++
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("ggk: %d active edges after %d global iterations", remaining, t)
+	}
+	res.GlobalIterations = t
+
+	// Dual violation factor (unit weights: α = max incident sum).
+	incident := make([]float64, n)
+	for e := 0; e < m; e++ {
+		u, v := g.Edge(graph.EdgeID(e))
+		incident[u] += res.X[e]
+		incident[v] += res.X[e]
+	}
+	for v := 0; v < n; v++ {
+		if incident[v] > res.Alpha {
+			res.Alpha = incident[v]
+		}
+	}
+	return res, nil
+}
+
+// FeasibleDual returns the duals rescaled to exact feasibility.
+func (r *Result) FeasibleDual() []float64 {
+	scaled := make([]float64, len(r.X))
+	inv := 1 / r.Alpha
+	for e, x := range r.X {
+		scaled[e] = x * inv
+	}
+	return scaled
+}

@@ -1,0 +1,130 @@
+package ggk
+
+import (
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+func TestRunCertifiedCover(t *testing.T) {
+	g := gen.GnpAvgDegree(3, 3000, 64)
+	res, err := Run(g, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := verify.NewCertificate(g, res.Cover, res.FeasibleDual())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Ratio() > 5 {
+		t.Fatalf("ggk certified ratio %v", cert.Ratio())
+	}
+	if res.Phases == 0 {
+		t.Fatal("expected sampled phases at d=64")
+	}
+	if res.Rounds != res.Phases*5+1 {
+		t.Fatalf("round accounting broken: %d rounds, %d phases", res.Rounds, res.Phases)
+	}
+}
+
+func TestRunRejectsWeights(t *testing.T) {
+	g := gen.ApplyWeights(gen.Gnp(1, 20, 0.2), 2, gen.UniformRange{Lo: 1, Hi: 2})
+	if _, err := Run(g, 0.1, 1); err == nil {
+		t.Fatal("weighted graph accepted")
+	}
+	if _, err := Run(nil, 0.1, 1); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := Run(gen.Path(4), 0.5, 1); err == nil {
+		t.Fatal("bad epsilon accepted")
+	}
+}
+
+func TestRunDegenerate(t *testing.T) {
+	res, err := Run(graph.NewBuilder(5).MustBuild(), 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range res.Cover {
+		if in {
+			t.Fatal("edgeless vertex covered")
+		}
+	}
+	empty, err := Run(graph.NewBuilder(0).MustBuild(), 0.1, 1)
+	if err != nil || len(empty.Cover) != 0 {
+		t.Fatal("empty graph mishandled")
+	}
+}
+
+func TestRunSparseSkipsPhases(t *testing.T) {
+	g := gen.GnpAvgDegree(7, 2000, 4)
+	res, err := Run(g, 0.1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases != 0 {
+		t.Fatalf("sparse graph ran %d phases", res.Phases)
+	}
+	if ok, _ := verify.IsCover(g, res.Cover); !ok {
+		t.Fatal("not a cover")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	g := gen.GnpAvgDegree(11, 1000, 48)
+	a, err := Run(g, 0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, 0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Cover {
+		if a.Cover[v] != b.Cover[v] {
+			t.Fatal("same seed, different covers")
+		}
+	}
+	if a.GlobalIterations != b.GlobalIterations {
+		t.Fatal("same seed, different iteration counts")
+	}
+}
+
+func TestRunTrueRatioOnBipartite(t *testing.T) {
+	// Exact OPT via König: the unweighted ancestor must land within its
+	// (2+O(ε)) guarantee in truth, not just certificate.
+	g := gen.RandomBipartite(13, 1500, 1500, 0.02)
+	res, err := Run(g, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := verify.IsCover(g, res.Cover); !ok {
+		t.Fatal("not a cover")
+	}
+	_, opt, err := bipartite.MinimumVertexCover(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := verify.CoverWeight(g, res.Cover)
+	if opt > 0 && w > 2.6*float64(opt) {
+		t.Fatalf("ggk true ratio %v beyond 2+O(ε)", w/float64(opt))
+	}
+}
+
+func TestPowerLawHeavyTail(t *testing.T) {
+	g := gen.PreferentialAttachment(17, 2000, 24)
+	res, err := Run(g, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := verify.NewCertificate(g, res.Cover, res.FeasibleDual())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Ratio() > 5 {
+		t.Fatalf("heavy-tail ratio %v", cert.Ratio())
+	}
+}

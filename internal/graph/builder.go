@@ -1,0 +1,172 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates vertices and edges and produces an immutable Graph.
+// Vertices are pre-declared by count; weights default to 1 and may be
+// overridden with SetWeight. Duplicate edges are merged; self-loops are
+// rejected at Build time.
+type Builder struct {
+	n       int
+	weights []float64
+	pairs   [][2]Vertex
+}
+
+// NewBuilder returns a Builder for a graph on n vertices, all with weight 1.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return &Builder{n: n, weights: w}
+}
+
+// NumVertices returns the declared vertex count.
+func (b *Builder) NumVertices() int { return b.n }
+
+// SetWeight sets the weight of vertex v. Weights must be positive and finite;
+// violations surface at Build time.
+func (b *Builder) SetWeight(v Vertex, w float64) *Builder {
+	b.weights[v] = w
+	return b
+}
+
+// SetWeights copies the given weights (which must have length n).
+func (b *Builder) SetWeights(w []float64) *Builder {
+	if len(w) != b.n {
+		panic(fmt.Sprintf("graph: SetWeights length %d, want %d", len(w), b.n))
+	}
+	copy(b.weights, w)
+	return b
+}
+
+// AddEdge records an undirected edge between u and v. Order of endpoints is
+// irrelevant; duplicates are merged at Build time.
+func (b *Builder) AddEdge(u, v Vertex) *Builder {
+	b.pairs = append(b.pairs, [2]Vertex{u, v})
+	return b
+}
+
+// NumPendingEdges returns the number of edges recorded so far (before
+// deduplication).
+func (b *Builder) NumPendingEdges() int { return len(b.pairs) }
+
+// Build validates and freezes the accumulated data into a Graph.
+func (b *Builder) Build() (*Graph, error) {
+	n := b.n
+	for v, w := range b.weights {
+		if !(w > 0) {
+			return nil, fmt.Errorf("graph: vertex %d has non-positive weight %v", v, w)
+		}
+	}
+	norm := make([][2]Vertex, 0, len(b.pairs))
+	for _, p := range b.pairs {
+		u, v := p[0], p[1]
+		if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) has endpoint out of range [0,%d)", u, v, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("graph: self-loop at vertex %d", u)
+		}
+		if u > v {
+			u, v = v, u
+		}
+		norm = append(norm, [2]Vertex{u, v})
+	}
+	sort.Slice(norm, func(i, j int) bool {
+		if norm[i][0] != norm[j][0] {
+			return norm[i][0] < norm[j][0]
+		}
+		return norm[i][1] < norm[j][1]
+	})
+	edges := norm[:0]
+	for i, p := range norm {
+		if i == 0 || p != norm[i-1] {
+			edges = append(edges, p)
+		}
+	}
+	m := len(edges)
+
+	deg := make([]int64, n)
+	for _, p := range edges {
+		deg[p[0]]++
+		deg[p[1]]++
+	}
+	offsets := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + deg[v]
+	}
+	neighbors := make([]Vertex, 2*m)
+	slotEdges := make([]EdgeID, 2*m)
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	// Edges are sorted by (min, max); inserting in edge order yields sorted
+	// adjacency for the min endpoint but not the max, so sort rows afterward.
+	for e, p := range edges {
+		u, v := p[0], p[1]
+		neighbors[cursor[u]], slotEdges[cursor[u]] = v, EdgeID(e)
+		cursor[u]++
+		neighbors[cursor[v]], slotEdges[cursor[v]] = u, EdgeID(e)
+		cursor[v]++
+	}
+	for v := 0; v < n; v++ {
+		lo, hi := offsets[v], offsets[v+1]
+		row := neighbors[lo:hi]
+		ids := slotEdges[lo:hi]
+		sort.Sort(&adjacencyRow{row, ids})
+	}
+
+	weights := make([]float64, n)
+	copy(weights, b.weights)
+	edgeCopy := make([][2]Vertex, m)
+	copy(edgeCopy, edges)
+	g := &Graph{
+		weights:   weights,
+		offsets:   offsets,
+		neighbors: neighbors,
+		slotEdges: slotEdges,
+		edges:     edgeCopy,
+	}
+	return g, nil
+}
+
+// MustBuild is Build but panics on error; for tests and generators whose
+// inputs are correct by construction.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+type adjacencyRow struct {
+	nbr []Vertex
+	ids []EdgeID
+}
+
+func (r *adjacencyRow) Len() int           { return len(r.nbr) }
+func (r *adjacencyRow) Less(i, j int) bool { return r.nbr[i] < r.nbr[j] }
+func (r *adjacencyRow) Swap(i, j int) {
+	r.nbr[i], r.nbr[j] = r.nbr[j], r.nbr[i]
+	r.ids[i], r.ids[j] = r.ids[j], r.ids[i]
+}
+
+// FromEdgeList builds a graph directly from an edge list and weights; a
+// convenience wrapper used throughout tests and examples.
+func FromEdgeList(n int, edges [][2]Vertex, weights []float64) (*Graph, error) {
+	b := NewBuilder(n)
+	if weights != nil {
+		b.SetWeights(weights)
+	}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}

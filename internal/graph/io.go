@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The serialization format is a line-oriented text format:
+//
+//	mwvc-graph 1
+//	<n> <m>
+//	w <v> <weight>        (one line per vertex whose weight differs from 1)
+//	e <u> <v>             (one line per undirected edge)
+//
+// Weights are written with full float64 round-trip precision. The format is
+// deliberately simple so instances can be produced or inspected with
+// standard text tools.
+
+const formatHeader = "mwvc-graph 1"
+
+// Write serializes g to w in the text format above.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s\n%d %d\n", formatHeader, g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if wt := g.Weight(Vertex(v)); wt != 1 {
+			if _, err := fmt.Fprintf(bw, "w %d %s\n", v, strconv.FormatFloat(wt, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		u, v := g.Edge(EdgeID(e))
+		if _, err := fmt.Fprintf(bw, "e %d %d\n", u, v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph in the text format produced by Write.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	line := func() (string, bool) {
+		for sc.Scan() {
+			s := strings.TrimSpace(sc.Text())
+			if s != "" && !strings.HasPrefix(s, "#") {
+				return s, true
+			}
+		}
+		return "", false
+	}
+	hdr, ok := line()
+	if !ok {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	if hdr != formatHeader {
+		return nil, fmt.Errorf("graph: bad header %q, want %q", hdr, formatHeader)
+	}
+	sizes, ok := line()
+	if !ok {
+		return nil, fmt.Errorf("graph: missing size line")
+	}
+	var n, m int
+	if _, err := fmt.Sscanf(sizes, "%d %d", &n, &m); err != nil {
+		return nil, fmt.Errorf("graph: bad size line %q: %w", sizes, err)
+	}
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: negative sizes in %q", sizes)
+	}
+	b := NewBuilder(n)
+	edgesSeen := 0
+	for {
+		s, ok := line()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(s)
+		switch fields[0] {
+		case "w":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: bad weight line %q", s)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: bad vertex in %q: %w", s, err)
+			}
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("graph: vertex %d out of range in %q", v, s)
+			}
+			wt, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: bad weight in %q: %w", s, err)
+			}
+			b.SetWeight(Vertex(v), wt)
+		case "e":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: bad edge line %q", s)
+			}
+			u, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: bad endpoint in %q: %w", s, err)
+			}
+			v, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: bad endpoint in %q: %w", s, err)
+			}
+			b.AddEdge(Vertex(u), Vertex(v))
+			edgesSeen++
+		default:
+			return nil, fmt.Errorf("graph: unknown record %q", s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if edgesSeen != m {
+		return nil, fmt.Errorf("graph: header declares %d edges, found %d", m, edgesSeen)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if g.NumEdges() != m {
+		return nil, fmt.Errorf("graph: %d edges after dedup, header declares %d", g.NumEdges(), m)
+	}
+	return g, nil
+}

@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := randomGraph(123, 50, 300)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVertices() != g.NumVertices() || h.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed sizes: (%d,%d) vs (%d,%d)",
+			h.NumVertices(), h.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if h.Weight(Vertex(v)) != g.Weight(Vertex(v)) {
+			t.Fatalf("weight of %d changed: %v vs %v", v, h.Weight(Vertex(v)), g.Weight(Vertex(v)))
+		}
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		u1, v1 := g.Edge(EdgeID(e))
+		u2, v2 := h.Edge(EdgeID(e))
+		if u1 != u2 || v1 != v2 {
+			t.Fatalf("edge %d changed: (%d,%d) vs (%d,%d)", e, u1, v1, u2, v2)
+		}
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsBadHeader(t *testing.T) {
+	if _, err := Read(strings.NewReader("not-a-graph\n1 0\n")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestReadRejectsEdgeCountMismatch(t *testing.T) {
+	in := "mwvc-graph 1\n3 2\ne 0 1\n"
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Fatal("edge-count mismatch accepted")
+	}
+}
+
+func TestReadRejectsMalformedRecords(t *testing.T) {
+	cases := []string{
+		"mwvc-graph 1\n2 1\ne 0\n",
+		"mwvc-graph 1\n2 1\nq 0 1\n",
+		"mwvc-graph 1\n2 1\ne 0 x\n",
+		"mwvc-graph 1\n2 1\nw 5 1.0\ne 0 1\n",
+		"mwvc-graph 1\n2 1\nw 0 oops\ne 0 1\n",
+		"mwvc-graph 1\n-1 0\n",
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Fatalf("malformed input accepted: %q", in)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\nmwvc-graph 1\n\n2 1\n# another\nw 0 2.5\ne 0 1\n\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 1 || g.Weight(0) != 2.5 {
+		t.Fatalf("parsed wrong graph: %v w0=%v", g, g.Weight(0))
+	}
+}
+
+func TestWriteEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).MustBuild()
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVertices() != 0 || h.NumEdges() != 0 {
+		t.Fatal("empty graph round trip failed")
+	}
+}
+
+func TestReadRejectsDuplicateEdgesVsHeader(t *testing.T) {
+	// Header says 2 edges but they dedup to 1.
+	in := "mwvc-graph 1\n2 2\ne 0 1\ne 1 0\n"
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Fatal("dedup mismatch accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package graph
+
+// Orientation holds the w/d edge orientation used by the paper's progress
+// argument (Section 3.2, "Analysis of progress via orienting edges"): edge
+// (u, v) is directed from u to v when w(u)/d(u) < w(v)/d(v), with ties broken
+// toward the smaller vertex id. Out-edges of u then all have initial dual
+// weight w(u)/d(u), which upper-bounds the out-degree of active vertices as
+// the algorithm progresses (Observation 4.3).
+type Orientation struct {
+	g *Graph
+	// tail[e] is the vertex the edge leaves (the endpoint with the smaller
+	// weight/degree ratio).
+	tail []Vertex
+}
+
+// Orient computes the orientation induced by the vertex values ratio[v]
+// (normally w'(v)/d(v)). Edges incident to vertices with ratio NaN or the
+// degenerate d(v)=0 case never arise because such vertices have no edges.
+func Orient(g *Graph, ratio []float64) *Orientation {
+	tail := make([]Vertex, g.NumEdges())
+	for e := 0; e < g.NumEdges(); e++ {
+		u, v := g.Edge(EdgeID(e))
+		switch {
+		case ratio[u] < ratio[v]:
+			tail[e] = u
+		case ratio[v] < ratio[u]:
+			tail[e] = v
+		default: // tie: deterministic break toward the smaller id (u < v always)
+			tail[e] = u
+		}
+	}
+	return &Orientation{g: g, tail: tail}
+}
+
+// Tail returns the vertex edge e is directed away from.
+func (o *Orientation) Tail(e EdgeID) Vertex { return o.tail[e] }
+
+// Head returns the vertex edge e is directed toward.
+func (o *Orientation) Head(e EdgeID) Vertex { return o.g.Other(e, o.tail[e]) }
+
+// OutDegrees returns the out-degree of every vertex.
+func (o *Orientation) OutDegrees() []int {
+	out := make([]int, o.g.NumVertices())
+	for _, t := range o.tail {
+		out[t]++
+	}
+	return out
+}
+
+// OutDegreesWhere returns, for every vertex, the number of out-edges e whose
+// head satisfies include (used to measure the "active out-degree" of
+// Observation 4.3, where include is "endpoint still active").
+func (o *Orientation) OutDegreesWhere(include func(Vertex) bool) []int {
+	out := make([]int, o.g.NumVertices())
+	for e, t := range o.tail {
+		if include(o.g.Other(EdgeID(e), t)) {
+			out[t]++
+		}
+	}
+	return out
+}

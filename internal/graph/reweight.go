@@ -1,0 +1,25 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// WithWeights returns a graph that shares this graph's structure but carries
+// the given vertex weights. The adjacency arrays are shared (they are
+// immutable), so the copy is O(n).
+func (g *Graph) WithWeights(w []float64) (*Graph, error) {
+	if len(w) != g.NumVertices() {
+		return nil, fmt.Errorf("graph: WithWeights length %d, want %d", len(w), g.NumVertices())
+	}
+	weights := make([]float64, len(w))
+	for v, x := range w {
+		if !(x > 0) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("graph: vertex %d weight %v, want positive finite", v, x)
+		}
+		weights[v] = x
+	}
+	h := *g
+	h.weights = weights
+	return &h, nil
+}

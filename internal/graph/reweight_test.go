@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWithWeights(t *testing.T) {
+	g := mustTriangle(t)
+	h, err := g.WithWeights([]float64{5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Weight(0) != 5 || h.Weight(1) != 6 || h.Weight(2) != 7 {
+		t.Fatal("weights not applied")
+	}
+	// Original untouched.
+	if g.Weight(0) != 1 {
+		t.Fatal("WithWeights mutated the original")
+	}
+	// Structure shared and identical.
+	if h.NumEdges() != g.NumEdges() {
+		t.Fatal("structure changed")
+	}
+	for v := Vertex(0); v < 3; v++ {
+		if len(h.Neighbors(v)) != len(g.Neighbors(v)) {
+			t.Fatal("adjacency changed")
+		}
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithWeightsRejectsBadInput(t *testing.T) {
+	g := mustTriangle(t)
+	if _, err := g.WithWeights([]float64{1, 2}); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	if _, err := g.WithWeights([]float64{1, 2, 0}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := g.WithWeights([]float64{1, 2, -1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := g.WithWeights([]float64{1, 2, math.Inf(1)}); err == nil {
+		t.Fatal("infinite weight accepted")
+	}
+	if _, err := g.WithWeights([]float64{1, 2, math.NaN()}); err == nil {
+		t.Fatal("NaN weight accepted")
+	}
+}
+
+func TestWithWeightsCopiesInput(t *testing.T) {
+	g := mustTriangle(t)
+	w := []float64{1, 2, 3}
+	h, err := g.WithWeights(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w[0] = 99
+	if h.Weight(0) != 1 {
+		t.Fatal("WithWeights aliased the caller's slice")
+	}
+}

@@ -1,0 +1,179 @@
+package matching
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+func TestGreedyMaximal(t *testing.T) {
+	g := gen.Gnp(3, 300, 0.03)
+	m := Greedy(g)
+	if err := m.Verify(g, true); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size == 0 && g.NumEdges() > 0 {
+		t.Fatal("empty matching on a graph with edges")
+	}
+}
+
+func TestGreedyPath(t *testing.T) {
+	// Path 0-1-2-3: greedy (edge order (0,1),(1,2),(2,3)) takes (0,1),(2,3).
+	g := gen.Path(4)
+	m := Greedy(g)
+	if m.Size != 2 {
+		t.Fatalf("path matching size %d, want 2", m.Size)
+	}
+	if m.Mate[0] != 1 || m.Mate[2] != 3 {
+		t.Fatalf("mates %v", m.Mate)
+	}
+}
+
+func TestDistributedMaximal(t *testing.T) {
+	g := gen.Gnp(5, 400, 0.02)
+	res, err := Distributed(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(g, true); err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds <= 0 {
+		t.Fatal("no rounds recorded")
+	}
+}
+
+func TestDistributedRoundsLogarithmic(t *testing.T) {
+	// O(log n) w.h.p.: allow a generous constant.
+	for _, n := range []int{100, 400, 1600} {
+		g := gen.GnpAvgDegree(9, n, 8)
+		res, err := Distributed(g, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := 12 * (1 + int(math.Log2(float64(n))))
+		if res.Rounds > bound {
+			t.Fatalf("n=%d: %d rounds exceed %d", n, res.Rounds, bound)
+		}
+	}
+}
+
+func TestDistributedDeterministic(t *testing.T) {
+	g := gen.GnpAvgDegree(11, 200, 6)
+	a, err := Distributed(g, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Distributed(g, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size != b.Size {
+		t.Fatal("same seed, different matching sizes")
+	}
+	for e := range a.Edges {
+		if a.Edges[e] != b.Edges[e] {
+			t.Fatal("same seed, different matchings")
+		}
+	}
+}
+
+func TestDistributedDegenerate(t *testing.T) {
+	if _, err := Distributed(graph.NewBuilder(0).MustBuild(), 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Distributed(graph.NewBuilder(5).MustBuild(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size != 0 {
+		t.Fatal("matched edges in an edgeless graph")
+	}
+	single, _ := graph.FromEdgeList(2, [][2]graph.Vertex{{0, 1}}, nil)
+	res, err = Distributed(single, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size != 1 {
+		t.Fatalf("single edge matching size %d", res.Size)
+	}
+}
+
+func TestCoverFromMatching(t *testing.T) {
+	g := gen.Gnp(13, 200, 0.05)
+	m := Greedy(g)
+	cover := CoverFromMatching(g, m)
+	if ok, e := verify.IsCover(g, cover); !ok {
+		t.Fatalf("matching cover misses edge %d", e)
+	}
+	// Unweighted 2-approximation: |C| = 2·|M| and |M| ≤ OPT.
+	size := 0
+	for _, in := range cover {
+		if in {
+			size++
+		}
+	}
+	if size != 2*m.Size {
+		t.Fatalf("cover size %d, want %d", size, 2*m.Size)
+	}
+}
+
+func TestMatchingQuickProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 10 + int(seed%100)
+		g := gen.Gnp(seed, n, 0.1)
+		greedy := Greedy(g)
+		if err := greedy.Verify(g, true); err != nil {
+			t.Log(err)
+			return false
+		}
+		dist, err := Distributed(g, seed+1)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if err := dist.Verify(g, true); err != nil {
+			t.Log(err)
+			return false
+		}
+		// Any two maximal matchings are within a factor 2 of each other.
+		if greedy.Size > 2*dist.Size || dist.Size > 2*greedy.Size {
+			t.Logf("sizes %d vs %d", greedy.Size, dist.Size)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyCatchesBadMatchings(t *testing.T) {
+	g := gen.Path(4)
+	m := Greedy(g)
+	// Break mate pointers.
+	bad := &Matching{Edges: append([]bool(nil), m.Edges...), Mate: append([]graph.Vertex(nil), m.Mate...), Size: m.Size}
+	bad.Mate[0] = 2
+	if err := bad.Verify(g, false); err == nil {
+		t.Fatal("broken mates accepted")
+	}
+	// Non-maximal.
+	empty := newMatching(g)
+	if err := empty.Verify(g, true); err == nil {
+		t.Fatal("empty matching accepted as maximal")
+	}
+	if err := empty.Verify(g, false); err != nil {
+		t.Fatal("empty matching rejected as a matching")
+	}
+	// Adjacent matched edges.
+	adj := newMatching(g)
+	adj.add(g, g.EdgeBetween(0, 1))
+	adj.add(g, g.EdgeBetween(1, 2))
+	if err := adj.Verify(g, false); err == nil {
+		t.Fatal("adjacent matched edges accepted")
+	}
+}

@@ -1,0 +1,266 @@
+// Package mpc simulates the Massively Parallel Computation model of
+// Karloff–Suri–Vassilvitskii (as refined by Beame–Koutris–Suciu and
+// Andoni–Nikolov–Onak–Yaroslavtsev, the formulation in Section 1.1 of the
+// paper): M machines, each with S words of memory, computing in synchronous
+// rounds. Per round every machine performs local computation and then
+// exchanges messages, subject to the model's constraints:
+//
+//   - a machine's resident data never exceeds S words;
+//   - the total data a machine sends in one round is at most S words;
+//   - the total data a machine receives in one round is at most S words.
+//
+// The simulator enforces all three mechanically and records the metrics the
+// paper's analysis speaks about (rounds, maximum machine load, total
+// communication). Machine-local computation executes concurrently on real
+// OS threads — one goroutine per machine, bounded by a worker pool — which
+// is what makes the repository's larger experiments tractable.
+//
+// A congested-clique mode (per Section 1.3's [BDH18] equivalence) adds the
+// stricter constraint of that model: per round, each ordered pair of
+// machines may exchange at most PairWords words (O(log n) bits ≈ O(1)
+// words per pair).
+package mpc
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Config describes a cluster.
+type Config struct {
+	// Machines is M, the number of machines (≥ 1).
+	Machines int
+	// MemoryWords is S, the per-machine memory budget in 8-byte words.
+	MemoryWords int64
+	// PairWords, when positive, switches on congested-clique accounting:
+	// at most PairWords words per ordered machine pair per round.
+	PairWords int64
+	// Parallelism bounds the number of concurrently executing machines.
+	// 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// Metrics aggregates the quantities the model's analysis is about.
+type Metrics struct {
+	// Rounds is the number of communication rounds elapsed, including
+	// rounds accounted via AccountRounds.
+	Rounds int
+	// MaxResidentWords is the high-water mark of any machine's memory.
+	MaxResidentWords int64
+	// MaxSentWords / MaxRecvWords are the per-round per-machine maxima.
+	MaxSentWords int64
+	MaxRecvWords int64
+	// TotalWords / TotalMessages count all routed traffic.
+	TotalWords    int64
+	TotalMessages int64
+}
+
+// Message is a routed unit of communication. Data is counted word-for-word
+// against the sender's and receiver's budgets.
+type Message struct {
+	From, To int
+	Data     []uint64
+}
+
+// Machine is the per-machine handle visible to a StepFunc. Its methods must
+// only be called from within the step executing on this machine.
+type Machine struct {
+	id       int
+	cluster  *Cluster
+	inbox    []Message
+	outbox   []Message
+	sent     int64
+	resident int64
+}
+
+// ID returns the machine's index in [0, M).
+func (m *Machine) ID() int { return m.id }
+
+// Inbox returns the messages delivered at the start of this round, ordered
+// by (sender, send order) — a deterministic order regardless of scheduling.
+func (m *Machine) Inbox() []Message { return m.inbox }
+
+// Send stages a message of len(data) words to machine `to`. The data slice
+// is retained; callers must not modify it afterwards.
+func (m *Machine) Send(to int, data []uint64) error {
+	if to < 0 || to >= m.cluster.cfg.Machines {
+		return fmt.Errorf("mpc: machine %d sending to invalid machine %d", m.id, to)
+	}
+	m.outbox = append(m.outbox, Message{From: m.id, To: to, Data: data})
+	m.sent += int64(len(data))
+	return nil
+}
+
+// Charge registers words of resident memory on this machine (e.g. when it
+// materializes an induced subgraph). It errors immediately when the budget
+// is exceeded, mirroring an out-of-memory machine.
+func (m *Machine) Charge(words int64) error {
+	m.resident += words
+	if m.resident > m.cluster.cfg.MemoryWords {
+		return fmt.Errorf("mpc: machine %d resident %d words exceeds budget %d",
+			m.id, m.resident, m.cluster.cfg.MemoryWords)
+	}
+	m.cluster.mu.Lock()
+	if m.resident > m.cluster.metrics.MaxResidentWords {
+		m.cluster.metrics.MaxResidentWords = m.resident
+	}
+	m.cluster.mu.Unlock()
+	return nil
+}
+
+// Release returns words of resident memory to the budget.
+func (m *Machine) Release(words int64) {
+	m.resident -= words
+	if m.resident < 0 {
+		m.resident = 0
+	}
+}
+
+// Resident returns the machine's current resident words.
+func (m *Machine) Resident() int64 { return m.resident }
+
+// StepFunc is one machine's work within a round.
+type StepFunc func(m *Machine) error
+
+// Cluster is a simulated MPC cluster.
+type Cluster struct {
+	cfg      Config
+	machines []*Machine
+	metrics  Metrics
+	mu       sync.Mutex // guards metrics updates from Charge during steps
+}
+
+// NewCluster validates the configuration and builds the cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Machines < 1 {
+		return nil, fmt.Errorf("mpc: need at least 1 machine, got %d", cfg.Machines)
+	}
+	if cfg.MemoryWords < 1 {
+		return nil, fmt.Errorf("mpc: per-machine memory %d words, want >= 1", cfg.MemoryWords)
+	}
+	if cfg.PairWords < 0 {
+		return nil, fmt.Errorf("mpc: negative PairWords %d", cfg.PairWords)
+	}
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Parallelism < 1 {
+		return nil, fmt.Errorf("mpc: parallelism %d, want >= 1", cfg.Parallelism)
+	}
+	c := &Cluster{cfg: cfg}
+	c.machines = make([]*Machine, cfg.Machines)
+	for i := range c.machines {
+		c.machines[i] = &Machine{id: i, cluster: c}
+	}
+	return c, nil
+}
+
+// Config returns the cluster's configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Metrics returns a snapshot of the accumulated metrics.
+func (c *Cluster) Metrics() Metrics { return c.metrics }
+
+// Machines returns M.
+func (c *Cluster) Machines() int { return c.cfg.Machines }
+
+// Round executes step concurrently on every machine, then routes the staged
+// messages, enforcing the send, receive and (in congested-clique mode)
+// per-pair budgets. Messages become visible in inboxes at the start of the
+// next round. Any machine error aborts the round with a combined error.
+func (c *Cluster) Round(step StepFunc) error {
+	errs := make([]error, len(c.machines))
+	sem := make(chan struct{}, c.cfg.Parallelism)
+	var wg sync.WaitGroup
+	for i, m := range c.machines {
+		// Inbox from the previous round is consumed by this step; its memory
+		// stays charged until the step releases or the round ends.
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, m *Machine) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = step(m)
+		}(i, m)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	return c.route()
+}
+
+func (c *Cluster) route() error {
+	c.metrics.Rounds++
+	recv := make([]int64, len(c.machines))
+	var pair map[[2]int]int64
+	if c.cfg.PairWords > 0 {
+		pair = make(map[[2]int]int64)
+	}
+	inboxes := make([][]Message, len(c.machines))
+	for _, m := range c.machines {
+		if m.sent > c.cfg.MemoryWords {
+			return fmt.Errorf("mpc: machine %d sent %d words in one round, budget %d",
+				m.id, m.sent, c.cfg.MemoryWords)
+		}
+		if m.sent > c.metrics.MaxSentWords {
+			c.metrics.MaxSentWords = m.sent
+		}
+		for _, msg := range m.outbox {
+			words := int64(len(msg.Data))
+			recv[msg.To] += words
+			c.metrics.TotalWords += words
+			c.metrics.TotalMessages++
+			if pair != nil {
+				key := [2]int{msg.From, msg.To}
+				pair[key] += words
+				if pair[key] > c.cfg.PairWords {
+					return fmt.Errorf("mpc: congested clique: pair (%d→%d) exchanged %d words in one round, cap %d",
+						msg.From, msg.To, pair[key], c.cfg.PairWords)
+				}
+			}
+			inboxes[msg.To] = append(inboxes[msg.To], msg)
+		}
+	}
+	for i, m := range c.machines {
+		if recv[i] > c.cfg.MemoryWords {
+			return fmt.Errorf("mpc: machine %d received %d words in one round, budget %d",
+				i, recv[i], c.cfg.MemoryWords)
+		}
+		if recv[i] > c.metrics.MaxRecvWords {
+			c.metrics.MaxRecvWords = recv[i]
+		}
+		// Deterministic delivery order: by sender, then send order (stable).
+		sort.SliceStable(inboxes[i], func(a, b int) bool {
+			return inboxes[i][a].From < inboxes[i][b].From
+		})
+		m.inbox = inboxes[i]
+		m.outbox = nil
+		m.sent = 0
+	}
+	return nil
+}
+
+// AccountRounds adds k rounds to the metrics without executing steps. The
+// paper's phase structure relies on standard O(1)-round MPC primitives
+// (aggregation trees, sorting [GSZ11]) whose bit-level simulation would add
+// nothing to the reproduction; algorithms use this to account for them
+// explicitly instead of hiding them.
+func (c *Cluster) AccountRounds(k int) {
+	if k < 0 {
+		panic("mpc: negative round count")
+	}
+	c.metrics.Rounds += k
+}
+
+// ResetResident zeroes every machine's resident memory, for algorithms that
+// rebuild machine state from scratch each phase (the partition is fresh per
+// phase in Algorithm 2).
+func (c *Cluster) ResetResident() {
+	for _, m := range c.machines {
+		m.resident = 0
+	}
+}

@@ -1,0 +1,351 @@
+package mpc
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func newTestCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Machines: 0, MemoryWords: 10},
+		{Machines: 2, MemoryWords: 0},
+		{Machines: 2, MemoryWords: 10, PairWords: -1},
+		{Machines: 2, MemoryWords: 10, Parallelism: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := NewCluster(cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := NewCluster(Config{Machines: 1, MemoryWords: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageDelivery(t *testing.T) {
+	c := newTestCluster(t, Config{Machines: 3, MemoryWords: 100})
+	// Round 1: everyone sends its id to machine 0.
+	err := c.Round(func(m *Machine) error {
+		return m.Send(0, []uint64{uint64(m.ID()) + 10})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 2: machine 0 checks its inbox (ordered by sender).
+	err = c.Round(func(m *Machine) error {
+		if m.ID() != 0 {
+			if len(m.Inbox()) != 0 {
+				t.Errorf("machine %d has unexpected inbox", m.ID())
+			}
+			return nil
+		}
+		in := m.Inbox()
+		if len(in) != 3 {
+			t.Errorf("machine 0 inbox size %d", len(in))
+			return nil
+		}
+		for i, msg := range in {
+			if msg.From != i || msg.Data[0] != uint64(i)+10 {
+				t.Errorf("inbox[%d] = from %d data %v", i, msg.From, msg.Data)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Metrics().Rounds; got != 2 {
+		t.Fatalf("rounds %d, want 2", got)
+	}
+}
+
+func TestSendBudgetEnforced(t *testing.T) {
+	c := newTestCluster(t, Config{Machines: 2, MemoryWords: 4})
+	err := c.Round(func(m *Machine) error {
+		if m.ID() == 0 {
+			return m.Send(1, make([]uint64, 5))
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "sent") {
+		t.Fatalf("oversend not rejected: %v", err)
+	}
+}
+
+func TestReceiveBudgetEnforced(t *testing.T) {
+	c := newTestCluster(t, Config{Machines: 5, MemoryWords: 4})
+	// Four machines each send 2 words to machine 0: 8 > 4.
+	err := c.Round(func(m *Machine) error {
+		if m.ID() != 0 {
+			return m.Send(0, make([]uint64, 2))
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "received") {
+		t.Fatalf("overreceive not rejected: %v", err)
+	}
+}
+
+func TestInvalidDestination(t *testing.T) {
+	c := newTestCluster(t, Config{Machines: 2, MemoryWords: 10})
+	err := c.Round(func(m *Machine) error {
+		return m.Send(7, []uint64{1})
+	})
+	if err == nil {
+		t.Fatal("invalid destination accepted")
+	}
+}
+
+func TestCongestedCliquePairCap(t *testing.T) {
+	c := newTestCluster(t, Config{Machines: 2, MemoryWords: 100, PairWords: 1})
+	// Two one-word messages on the same ordered pair exceed the cap.
+	err := c.Round(func(m *Machine) error {
+		if m.ID() == 0 {
+			if err := m.Send(1, []uint64{1}); err != nil {
+				return err
+			}
+			return m.Send(1, []uint64{2})
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "congested clique") {
+		t.Fatalf("pair cap not enforced: %v", err)
+	}
+	// One word per ordered pair is fine, both directions.
+	c2 := newTestCluster(t, Config{Machines: 2, MemoryWords: 100, PairWords: 1})
+	err = c2.Round(func(m *Machine) error {
+		return m.Send(1-m.ID(), []uint64{uint64(m.ID())})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChargeAndRelease(t *testing.T) {
+	c := newTestCluster(t, Config{Machines: 1, MemoryWords: 10})
+	err := c.Round(func(m *Machine) error {
+		if err := m.Charge(8); err != nil {
+			return err
+		}
+		if m.Resident() != 8 {
+			t.Errorf("resident %d, want 8", m.Resident())
+		}
+		m.Release(3)
+		if m.Resident() != 5 {
+			t.Errorf("resident %d, want 5", m.Resident())
+		}
+		return m.Charge(5) // back to 10, exactly at budget
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw := c.Metrics().MaxResidentWords; hw != 10 {
+		t.Fatalf("high water %d, want 10", hw)
+	}
+	err = c.Round(func(m *Machine) error { return m.Charge(1) })
+	if err == nil {
+		t.Fatal("memory budget not enforced")
+	}
+}
+
+func TestReleaseClampsAtZero(t *testing.T) {
+	c := newTestCluster(t, Config{Machines: 1, MemoryWords: 10})
+	_ = c.Round(func(m *Machine) error {
+		m.Release(100)
+		if m.Resident() != 0 {
+			t.Errorf("resident %d, want 0", m.Resident())
+		}
+		return nil
+	})
+}
+
+func TestParallelExecution(t *testing.T) {
+	const machines = 32
+	c := newTestCluster(t, Config{Machines: machines, MemoryWords: 1000, Parallelism: 8})
+	var running, peak int64
+	err := c.Round(func(m *Machine) error {
+		cur := atomic.AddInt64(&running, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if cur <= p || atomic.CompareAndSwapInt64(&peak, p, cur) {
+				break
+			}
+		}
+		// Busy-wait a moment so overlap is observable.
+		for i := 0; i < 10000; i++ {
+			_ = i * i
+		}
+		atomic.AddInt64(&running, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > 8 {
+		t.Fatalf("parallelism bound violated: peak %d > 8", peak)
+	}
+}
+
+func TestMetricsAccumulate(t *testing.T) {
+	c := newTestCluster(t, Config{Machines: 3, MemoryWords: 100})
+	for r := 0; r < 4; r++ {
+		err := c.Round(func(m *Machine) error {
+			return m.Send((m.ID()+1)%3, []uint64{1, 2})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.Metrics()
+	if got.Rounds != 4 {
+		t.Fatalf("rounds %d", got.Rounds)
+	}
+	if got.TotalMessages != 12 {
+		t.Fatalf("messages %d, want 12", got.TotalMessages)
+	}
+	if got.TotalWords != 24 {
+		t.Fatalf("words %d, want 24", got.TotalWords)
+	}
+	if got.MaxSentWords != 2 || got.MaxRecvWords != 2 {
+		t.Fatalf("per-round maxima %d/%d, want 2/2", got.MaxSentWords, got.MaxRecvWords)
+	}
+}
+
+func TestAccountRounds(t *testing.T) {
+	c := newTestCluster(t, Config{Machines: 1, MemoryWords: 1})
+	c.AccountRounds(3)
+	if c.Metrics().Rounds != 3 {
+		t.Fatalf("rounds %d, want 3", c.Metrics().Rounds)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative AccountRounds did not panic")
+		}
+	}()
+	c.AccountRounds(-1)
+}
+
+func TestResetResident(t *testing.T) {
+	c := newTestCluster(t, Config{Machines: 2, MemoryWords: 10})
+	_ = c.Round(func(m *Machine) error { return m.Charge(5) })
+	c.ResetResident()
+	_ = c.Round(func(m *Machine) error {
+		if m.Resident() != 0 {
+			t.Errorf("machine %d resident %d after reset", m.ID(), m.Resident())
+		}
+		return nil
+	})
+}
+
+func TestStepErrorsCombined(t *testing.T) {
+	c := newTestCluster(t, Config{Machines: 4, MemoryWords: 10})
+	err := c.Round(func(m *Machine) error {
+		if m.ID()%2 == 1 {
+			return &machineErr{m.ID()}
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("step errors swallowed")
+	}
+	if !strings.Contains(err.Error(), "machine 1") || !strings.Contains(err.Error(), "machine 3") {
+		t.Fatalf("combined error missing parts: %v", err)
+	}
+}
+
+type machineErr struct{ id int }
+
+func (e *machineErr) Error() string { return "machine " + string(rune('0'+e.id)) + " failed" }
+
+func TestDeterministicInboxOrder(t *testing.T) {
+	// Many senders to one receiver: inbox must be ordered by sender id and,
+	// within a sender, by send order — independent of goroutine scheduling.
+	for trial := 0; trial < 5; trial++ {
+		c := newTestCluster(t, Config{Machines: 16, MemoryWords: 1000})
+		err := c.Round(func(m *Machine) error {
+			if err := m.Send(0, []uint64{uint64(m.ID()), 0}); err != nil {
+				return err
+			}
+			return m.Send(0, []uint64{uint64(m.ID()), 1})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = c.Round(func(m *Machine) error {
+			if m.ID() != 0 {
+				return nil
+			}
+			in := m.Inbox()
+			if len(in) != 32 {
+				t.Errorf("inbox size %d", len(in))
+				return nil
+			}
+			for i, msg := range in {
+				wantFrom := i / 2
+				wantSeq := uint64(i % 2)
+				if msg.From != wantFrom || msg.Data[1] != wantSeq {
+					t.Errorf("trial %d: inbox[%d] from %d seq %d, want %d/%d",
+						trial, i, msg.From, msg.Data[1], wantFrom, wantSeq)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	var buf []uint64
+	buf = AppendEdgeRecord(buf, 5, 9, 3.25)
+	buf = AppendEdgeRecord(buf, -1, 2, -0.5)
+	n, err := CheckRecordCount(buf, EdgeRecordWords)
+	if err != nil || n != 2 {
+		t.Fatalf("record count %d err %v", n, err)
+	}
+	u, v, w := DecodeEdgeRecord(buf, 0)
+	if u != 5 || v != 9 || w != 3.25 {
+		t.Fatalf("decoded (%d,%d,%v)", u, v, w)
+	}
+	u, v, w = DecodeEdgeRecord(buf, 1)
+	if u != -1 || v != 2 || w != -0.5 {
+		t.Fatalf("decoded (%d,%d,%v)", u, v, w)
+	}
+
+	var vb []uint64
+	vb = AppendVertexRecord(vb, 7, 1.5)
+	id, val := DecodeVertexRecord(vb, 0)
+	if id != 7 || val != 1.5 {
+		t.Fatalf("vertex record (%d,%v)", id, val)
+	}
+
+	var rb []uint64
+	rb = AppendResultRecord(rb, 3, -1)
+	rv, fi := DecodeResultRecord(rb, 0)
+	if rv != 3 || fi != -1 {
+		t.Fatalf("result record (%d,%d)", rv, fi)
+	}
+
+	if _, err := CheckRecordCount(make([]uint64, 4), EdgeRecordWords); err == nil {
+		t.Fatal("ragged payload accepted")
+	}
+}
+
+func TestFloatWordRoundTrip(t *testing.T) {
+	for _, f := range []float64{0, 1, -1, 3.141592653589793, 1e-300, 1e300} {
+		if GetFloat(PutFloat(f)) != f {
+			t.Fatalf("float round trip failed for %v", f)
+		}
+	}
+}

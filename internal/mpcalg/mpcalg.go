@@ -1,0 +1,258 @@
+// Package mpcalg implements the standard O(1)-round MPC primitives the
+// paper's phase structure presumes (Goodrich–Sitchinava–Zhang [GSZ11]):
+// tree aggregation, broadcast, and sample sort. Algorithm 2 uses constant-
+// round aggregations to compute the average residual degree and to attach
+// per-vertex data to edges; these are their mechanically-accounted
+// realizations on the cluster substrate — every message crosses the
+// simulated network and is charged against the send/receive budgets.
+//
+// Round counts (M machines, fan-in/out f):
+//
+//	Aggregate:  ⌈log_f M⌉ send levels + 1 ingest round
+//	Broadcast:  ⌈log_f M⌉ send levels + 1 ingest round
+//	SampleSort: 4 rounds (sample, splitters, route, final ingest)
+//
+// With f = Θ(M^δ) — machines have memory for M^δ messages — the depths are
+// O(1/δ) = O(1), which is the constant the paper's "each phase takes O(1)
+// MPC rounds" hides.
+package mpcalg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mpc"
+)
+
+// Op is an associative, commutative combiner over word values.
+type Op func(a, b uint64) uint64
+
+// Sum combines by addition.
+func Sum(a, b uint64) uint64 { return a + b }
+
+// Max combines by maximum.
+func Max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Aggregate combines one word per machine up a fan-in tree to machine 0 and
+// returns the total. locals must have one entry per machine. fanIn ≥ 2.
+func Aggregate(c *mpc.Cluster, locals []uint64, op Op, fanIn int) (uint64, error) {
+	m := c.Machines()
+	if len(locals) != m {
+		return 0, fmt.Errorf("mpcalg: %d locals for %d machines", len(locals), m)
+	}
+	if fanIn < 2 {
+		return 0, fmt.Errorf("mpcalg: fan-in %d, want >= 2", fanIn)
+	}
+	cur := append([]uint64(nil), locals...)
+	stride := 1
+	for stride < m {
+		next := stride * fanIn
+		s, nx := stride, next
+		err := c.Round(func(mach *mpc.Machine) error {
+			id := mach.ID()
+			// Combine what the previous level delivered.
+			for _, msg := range mach.Inbox() {
+				cur[id] = op(cur[id], msg.Data[0])
+			}
+			// Non-leaders of the new, coarser level report to their leader.
+			if id%s == 0 && id%nx != 0 {
+				return mach.Send(id-id%nx, []uint64{cur[id]})
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		stride = next
+	}
+	// Final ingest at the root.
+	err := c.Round(func(mach *mpc.Machine) error {
+		if mach.ID() != 0 {
+			return nil
+		}
+		for _, msg := range mach.Inbox() {
+			cur[0] = op(cur[0], msg.Data[0])
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return cur[0], nil
+}
+
+// Broadcast distributes machine 0's value down a fan-out tree; the returned
+// slice holds every machine's received copy. fanOut ≥ 2.
+func Broadcast(c *mpc.Cluster, value uint64, fanOut int) ([]uint64, error) {
+	m := c.Machines()
+	if fanOut < 2 {
+		return nil, fmt.Errorf("mpcalg: fan-out %d, want >= 2", fanOut)
+	}
+	got := make([]bool, m)
+	out := make([]uint64, m)
+	got[0] = true
+	out[0] = value
+	// Level strides from coarse to fine, mirroring Aggregate in reverse.
+	var strides []int
+	for s := 1; s < m; s *= fanOut {
+		strides = append(strides, s)
+	}
+	for i := len(strides) - 1; i >= 0; i-- {
+		s := strides[i]
+		nx := s * fanOut
+		err := c.Round(func(mach *mpc.Machine) error {
+			id := mach.ID()
+			for _, msg := range mach.Inbox() {
+				out[id] = msg.Data[0]
+				got[id] = true
+			}
+			if got[id] && id%nx == 0 {
+				// Send to the children of this level.
+				for child := id + s; child < id+nx && child < m; child += s {
+					if err := mach.Send(child, []uint64{out[id]}); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Final ingest for the deepest level.
+	err := c.Round(func(mach *mpc.Machine) error {
+		id := mach.ID()
+		for _, msg := range mach.Inbox() {
+			out[id] = msg.Data[0]
+			got[id] = true
+		}
+		if !got[id] {
+			return fmt.Errorf("mpcalg: machine %d never received the broadcast", id)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SampleSort globally sorts word keys spread across machines: on return,
+// machine i's slice is sorted and every key on machine i precedes every key
+// on machine i+1 (TeraSort-style range partitioning by sampled splitters).
+// samplesPerMachine controls splitter quality (≥ 1).
+func SampleSort(c *mpc.Cluster, locals [][]uint64, samplesPerMachine int) ([][]uint64, error) {
+	m := c.Machines()
+	if len(locals) != m {
+		return nil, fmt.Errorf("mpcalg: %d locals for %d machines", len(locals), m)
+	}
+	if samplesPerMachine < 1 {
+		return nil, fmt.Errorf("mpcalg: samplesPerMachine %d, want >= 1", samplesPerMachine)
+	}
+	// Work on copies; locals are caller-owned.
+	data := make([][]uint64, m)
+	for i := range locals {
+		data[i] = append([]uint64(nil), locals[i]...)
+		sort.Slice(data[i], func(a, b int) bool { return data[i][a] < data[i][b] })
+	}
+
+	// Round 1: evenly spaced local samples to machine 0.
+	err := c.Round(func(mach *mpc.Machine) error {
+		id := mach.ID()
+		n := len(data[id])
+		if n == 0 {
+			return nil
+		}
+		samples := make([]uint64, 0, samplesPerMachine)
+		for k := 1; k <= samplesPerMachine; k++ {
+			samples = append(samples, data[id][(n*k-1)/(samplesPerMachine+1)])
+		}
+		return mach.Send(0, samples)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Round 2: machine 0 picks M−1 splitters and sends them to everyone.
+	splitters := make([]uint64, 0, m-1)
+	err = c.Round(func(mach *mpc.Machine) error {
+		if mach.ID() != 0 {
+			return nil
+		}
+		var all []uint64
+		for _, msg := range mach.Inbox() {
+			all = append(all, msg.Data...)
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+		for k := 1; k < m; k++ {
+			if len(all) == 0 {
+				splitters = append(splitters, ^uint64(0))
+				continue
+			}
+			splitters = append(splitters, all[(len(all)*k-1)/m])
+		}
+		for dst := 0; dst < m; dst++ {
+			if err := mach.Send(dst, append([]uint64(nil), splitters...)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Round 3: route each key to its range owner.
+	err = c.Round(func(mach *mpc.Machine) error {
+		id := mach.ID()
+		var spl []uint64
+		for _, msg := range mach.Inbox() {
+			spl = msg.Data
+		}
+		if spl == nil {
+			return fmt.Errorf("mpcalg: machine %d missing splitters", id)
+		}
+		buckets := make([][]uint64, m)
+		for _, key := range data[id] {
+			b := sort.Search(len(spl), func(i int) bool { return key <= spl[i] })
+			buckets[b] = append(buckets[b], key)
+		}
+		for dst, bucket := range buckets {
+			if len(bucket) > 0 {
+				if err := mach.Send(dst, bucket); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Round 4: ingest and final local sort.
+	result := make([][]uint64, m)
+	err = c.Round(func(mach *mpc.Machine) error {
+		id := mach.ID()
+		var mine []uint64
+		for _, msg := range mach.Inbox() {
+			mine = append(mine, msg.Data...)
+		}
+		if err := mach.Charge(int64(len(mine))); err != nil {
+			return err
+		}
+		sort.Slice(mine, func(a, b int) bool { return mine[a] < mine[b] })
+		result[id] = mine
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return result, nil
+}

@@ -1,0 +1,233 @@
+package mpcalg
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mpc"
+	"repro/internal/rng"
+)
+
+func cluster(t *testing.T, machines int, memory int64) *mpc.Cluster {
+	t.Helper()
+	c, err := mpc.NewCluster(mpc.Config{Machines: machines, MemoryWords: memory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAggregateSum(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 7, 16, 33} {
+		c := cluster(t, m, 1<<20)
+		locals := make([]uint64, m)
+		want := uint64(0)
+		for i := range locals {
+			locals[i] = uint64(i * i)
+			want += locals[i]
+		}
+		got, err := Aggregate(c, locals, Sum, 4)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if got != want {
+			t.Fatalf("m=%d: sum %d, want %d", m, got, want)
+		}
+	}
+}
+
+func TestAggregateMax(t *testing.T) {
+	c := cluster(t, 10, 1<<20)
+	locals := []uint64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3}
+	got, err := Aggregate(c, locals, Max, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 {
+		t.Fatalf("max %d, want 9", got)
+	}
+}
+
+func TestAggregateRoundCount(t *testing.T) {
+	// With fan-in f, ⌈log_f M⌉ send levels + 1 ingest.
+	cases := []struct {
+		machines, fanIn, wantRounds int
+	}{
+		{16, 16, 2}, // one level + ingest
+		{16, 4, 3},  // two levels + ingest
+		{16, 2, 5},  // four levels + ingest
+		{1, 2, 1},   // no levels, just the ingest round
+	}
+	for _, tc := range cases {
+		c := cluster(t, tc.machines, 1<<20)
+		if _, err := Aggregate(c, make([]uint64, tc.machines), Sum, tc.fanIn); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Metrics().Rounds; got != tc.wantRounds {
+			t.Errorf("M=%d f=%d: %d rounds, want %d", tc.machines, tc.fanIn, got, tc.wantRounds)
+		}
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	c := cluster(t, 4, 1<<20)
+	if _, err := Aggregate(c, make([]uint64, 3), Sum, 2); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Aggregate(c, make([]uint64, 4), Sum, 1); err == nil {
+		t.Fatal("fan-in 1 accepted")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	for _, m := range []int{1, 2, 5, 16, 31} {
+		for _, fan := range []int{2, 3, 8} {
+			c := cluster(t, m, 1<<20)
+			out, err := Broadcast(c, 0xDEADBEEF, fan)
+			if err != nil {
+				t.Fatalf("m=%d fan=%d: %v", m, fan, err)
+			}
+			for i, v := range out {
+				if v != 0xDEADBEEF {
+					t.Fatalf("m=%d fan=%d: machine %d got %x", m, fan, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestBroadcastValidation(t *testing.T) {
+	c := cluster(t, 4, 1<<20)
+	if _, err := Broadcast(c, 1, 1); err == nil {
+		t.Fatal("fan-out 1 accepted")
+	}
+}
+
+func TestSampleSortBasic(t *testing.T) {
+	const m = 8
+	c := cluster(t, m, 1<<20)
+	src := rng.New(5)
+	locals := make([][]uint64, m)
+	var all []uint64
+	for i := range locals {
+		n := 50 + src.Intn(100)
+		for j := 0; j < n; j++ {
+			v := src.Uint64() % 10000
+			locals[i] = append(locals[i], v)
+			all = append(all, v)
+		}
+	}
+	sorted, err := SampleSort(c, locals, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flattened result is globally sorted and a permutation of the input.
+	var flat []uint64
+	for i, part := range sorted {
+		for j := 1; j < len(part); j++ {
+			if part[j-1] > part[j] {
+				t.Fatalf("machine %d not locally sorted", i)
+			}
+		}
+		if i > 0 && len(part) > 0 {
+			for k := i - 1; k >= 0; k-- {
+				if len(sorted[k]) > 0 {
+					if sorted[k][len(sorted[k])-1] > part[0] {
+						t.Fatalf("machine boundary %d/%d out of order", k, i)
+					}
+					break
+				}
+			}
+		}
+		flat = append(flat, part...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	if len(flat) != len(all) {
+		t.Fatalf("lost keys: %d vs %d", len(flat), len(all))
+	}
+	for i := range all {
+		if flat[i] != all[i] {
+			t.Fatalf("not a permutation at %d", i)
+		}
+	}
+}
+
+func TestSampleSortRounds(t *testing.T) {
+	c := cluster(t, 4, 1<<20)
+	locals := [][]uint64{{3, 1}, {2}, {9, 7, 5}, {}}
+	if _, err := SampleSort(c, locals, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Metrics().Rounds; got != 4 {
+		t.Fatalf("%d rounds, want 4", got)
+	}
+}
+
+func TestSampleSortEmptyAndSkewed(t *testing.T) {
+	c := cluster(t, 4, 1<<20)
+	// All data on one machine, duplicates everywhere.
+	locals := [][]uint64{{5, 5, 5, 5, 1, 1, 9, 9, 3}, {}, {}, {}}
+	sorted, err := SampleSort(c, locals, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat []uint64
+	for _, p := range sorted {
+		flat = append(flat, p...)
+	}
+	if len(flat) != 9 {
+		t.Fatalf("lost keys: %d", len(flat))
+	}
+	for i := 1; i < len(flat); i++ {
+		if flat[i-1] > flat[i] {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+func TestSampleSortDoesNotMutateInput(t *testing.T) {
+	c := cluster(t, 2, 1<<20)
+	locals := [][]uint64{{3, 1, 2}, {9, 0}}
+	if _, err := SampleSort(c, locals, 2); err != nil {
+		t.Fatal(err)
+	}
+	if locals[0][0] != 3 || locals[1][1] != 0 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestSampleSortValidation(t *testing.T) {
+	c := cluster(t, 2, 1<<20)
+	if _, err := SampleSort(c, make([][]uint64, 1), 2); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := SampleSort(c, make([][]uint64, 2), 0); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+}
+
+// Property: Aggregate(Sum) equals the sequential sum for arbitrary inputs.
+func TestAggregateQuick(t *testing.T) {
+	f := func(vals []uint64) bool {
+		if len(vals) == 0 {
+			vals = []uint64{0}
+		}
+		if len(vals) > 64 {
+			vals = vals[:64]
+		}
+		c, err := mpc.NewCluster(mpc.Config{Machines: len(vals), MemoryWords: 1 << 20})
+		if err != nil {
+			return false
+		}
+		want := uint64(0)
+		for _, v := range vals {
+			want += v
+		}
+		got, err := Aggregate(c, vals, Sum, 3)
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

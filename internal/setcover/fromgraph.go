@@ -1,0 +1,19 @@
+package setcover
+
+import "repro/internal/graph"
+
+// FromGraph encodes a minimum-weight vertex-cover instance as set cover:
+// sets are vertices (with their weights), elements are edges, and each
+// element is covered by exactly its two endpoints, so the frequency is 2
+// and Solve gives the classic 2-approximation.
+func FromGraph(g *graph.Graph) *Instance {
+	in := &Instance{
+		Weights:  append([]float64(nil), g.Weights()...),
+		Elements: make([][]int, g.NumEdges()),
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		u, v := g.Edge(graph.EdgeID(e))
+		in.Elements[e] = []int{int(u), int(v)}
+	}
+	return in
+}

@@ -1,0 +1,160 @@
+// Package setcover implements the weighted set-cover primal–dual
+// f-approximation that the paper's centralized algorithm descends from
+// (Section 3.1 traces Algorithm 1 to Hochbaum [Hoc82] and Bar-Yehuda–Even
+// [BYE81], whose algorithms are stated for set cover; vertex cover is the
+// special case where every element — an edge — is covered by exactly f = 2
+// sets — its endpoints).
+//
+// Having the general algorithm in the repository serves two purposes:
+// it cross-validates the vertex-cover implementations (the f=2 projection
+// must agree with them), and it marks the extension point a downstream
+// user would reach for first (covering constraints with frequency > 2).
+package setcover
+
+import (
+	"fmt"
+	"math"
+)
+
+// Instance is a weighted set-cover instance: Sets[i] has weight Weights[i];
+// Elements[j] lists the indices of the sets that cover element j. Every
+// element must be coverable (nonempty list) and weights must be positive.
+type Instance struct {
+	Weights  []float64
+	Elements [][]int
+}
+
+// Validate checks structural sanity and returns the frequency f = the
+// maximum number of sets covering any single element.
+func (in *Instance) Validate() (f int, err error) {
+	for s, w := range in.Weights {
+		if !(w > 0) || math.IsInf(w, 0) {
+			return 0, fmt.Errorf("setcover: set %d has weight %v, want positive finite", s, w)
+		}
+	}
+	for j, sets := range in.Elements {
+		if len(sets) == 0 {
+			return 0, fmt.Errorf("setcover: element %d is uncoverable", j)
+		}
+		seen := make(map[int]bool, len(sets))
+		for _, s := range sets {
+			if s < 0 || s >= len(in.Weights) {
+				return 0, fmt.Errorf("setcover: element %d references set %d out of range", j, s)
+			}
+			if seen[s] {
+				return 0, fmt.Errorf("setcover: element %d lists set %d twice", j, s)
+			}
+			seen[s] = true
+		}
+		if len(sets) > f {
+			f = len(sets)
+		}
+	}
+	return f, nil
+}
+
+// Solution is a cover with its dual certificate.
+type Solution struct {
+	// Chosen[s] reports whether set s is in the cover.
+	Chosen []bool
+	// Weight is the total weight of chosen sets.
+	Weight float64
+	// Duals[j] is element j's dual value y_j; feasibility
+	// (Σ_{j covered by s} y_j ≤ w(s) for all s) holds by construction, so
+	// Σ y_j lower-bounds OPT and Weight ≤ f·Σ y_j.
+	Duals []float64
+	// Bound is Σ y_j.
+	Bound float64
+	// Frequency is f, the certified approximation factor.
+	Frequency int
+}
+
+// Solve runs the Bar-Yehuda–Even local-ratio scheme: scan elements once;
+// for each uncovered element raise its dual until some containing set goes
+// tight; tight sets join the cover. The result is an f-approximation with
+// a self-contained weak-duality certificate.
+func Solve(in *Instance) (*Solution, error) {
+	f, err := in.Validate()
+	if err != nil {
+		return nil, err
+	}
+	residual := append([]float64(nil), in.Weights...)
+	chosen := make([]bool, len(in.Weights))
+	duals := make([]float64, len(in.Elements))
+	for j, sets := range in.Elements {
+		covered := false
+		for _, s := range sets {
+			if chosen[s] {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			continue
+		}
+		// Raise y_j by the smallest residual among its sets.
+		delta := math.Inf(1)
+		for _, s := range sets {
+			if residual[s] < delta {
+				delta = residual[s]
+			}
+		}
+		duals[j] = delta
+		for _, s := range sets {
+			residual[s] -= delta
+			if residual[s] <= 0 {
+				chosen[s] = true
+			}
+		}
+	}
+	sol := &Solution{Chosen: chosen, Duals: duals, Frequency: f}
+	for s, c := range chosen {
+		if c {
+			sol.Weight += in.Weights[s]
+		}
+	}
+	for _, y := range duals {
+		sol.Bound += y
+	}
+	return sol, nil
+}
+
+// Verify checks that the solution covers every element, that the duals are
+// feasible, and that Weight ≤ f·Bound (the certificate); it returns a
+// descriptive error on the first violation.
+func Verify(in *Instance, sol *Solution) error {
+	f, err := in.Validate()
+	if err != nil {
+		return err
+	}
+	for j, sets := range in.Elements {
+		covered := false
+		for _, s := range sets {
+			if sol.Chosen[s] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return fmt.Errorf("setcover: element %d uncovered", j)
+		}
+	}
+	load := make([]float64, len(in.Weights))
+	for j, sets := range in.Elements {
+		if sol.Duals[j] < -1e-12 {
+			return fmt.Errorf("setcover: negative dual at element %d", j)
+		}
+		for _, s := range sets {
+			load[s] += sol.Duals[j]
+		}
+	}
+	for s, l := range load {
+		if l > in.Weights[s]*(1+1e-9) {
+			return fmt.Errorf("setcover: dual constraint of set %d violated: %v > %v", s, l, in.Weights[s])
+		}
+	}
+	if sol.Weight > float64(f)*sol.Bound*(1+1e-9) {
+		return fmt.Errorf("setcover: weight %v exceeds f·bound = %d·%v", sol.Weight, f, sol.Bound)
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Chart renders one or more named series as an ASCII scatter chart — the
+// repository's stand-in for the figures a systems paper would plot. Series
+// share the x axis; each gets a distinct mark.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot columns (default 60)
+	Height int // plot rows (default 16)
+	series []chartSeries
+}
+
+type chartSeries struct {
+	name string
+	mark byte
+	xs   []float64
+	ys   []float64
+}
+
+// NewChart returns an empty chart.
+func NewChart(title, xlabel, ylabel string) *Chart {
+	return &Chart{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 60, Height: 16}
+}
+
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// AddSeries appends a series; xs and ys must have equal length.
+func (c *Chart) AddSeries(name string, xs, ys []float64) *Chart {
+	mark := seriesMarks[len(c.series)%len(seriesMarks)]
+	c.series = append(c.series, chartSeries{
+		name: name,
+		mark: mark,
+		xs:   append([]float64(nil), xs...),
+		ys:   append([]float64(nil), ys...),
+	})
+	return c
+}
+
+// Render draws the chart to w. Charts with no finite points render a
+// placeholder line instead of failing.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.series {
+		for i := range s.xs {
+			x, y := s.xs[i], s.ys[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			points++
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if points == 0 {
+		b.WriteString("  (no data)\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range c.series {
+		for i := range s.xs {
+			x, y := s.xs[i], s.ys[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			col := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+			row := height - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(height-1)))
+			grid[row][col] = s.mark
+		}
+	}
+	yLo, yHi := formatFloat(minY), formatFloat(maxY)
+	margin := len(yHi)
+	if len(yLo) > margin {
+		margin = len(yLo)
+	}
+	for r, rowBytes := range grid {
+		label := strings.Repeat(" ", margin)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", margin, yHi)
+		case height - 1:
+			label = fmt.Sprintf("%*s", margin, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(rowBytes))
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", margin), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", margin), width-len(formatFloat(maxX)), formatFloat(minX), formatFloat(maxX))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s    y: %s\n", strings.Repeat(" ", margin), c.XLabel, c.YLabel)
+	}
+	for _, s := range c.series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", margin), s.mark, s.name)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}

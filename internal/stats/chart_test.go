@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartRender(t *testing.T) {
+	c := NewChart("demo", "d", "rounds")
+	c.AddSeries("mpc", []float64{1, 2, 3, 4}, []float64{5, 5, 6, 6})
+	c.AddSeries("local", []float64{1, 2, 3, 4}, []float64{10, 20, 30, 40})
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"demo", "* mpc", "o local", "x: d", "y: rounds"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Marks present in the plot body.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("marks missing:\n%s", out)
+	}
+	// Axis extremes labelled.
+	if !strings.Contains(out, "40") || !strings.Contains(out, "5") {
+		t.Fatalf("y labels missing:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := NewChart("empty", "", "")
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "(no data)") {
+		t.Fatalf("empty chart output: %q", sb.String())
+	}
+}
+
+func TestChartIgnoresNonFinite(t *testing.T) {
+	c := NewChart("t", "", "")
+	c.AddSeries("s", []float64{1, math.NaN(), 2, math.Inf(1)}, []float64{1, 2, math.Inf(-1), 4})
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "NaN") {
+		t.Fatal("non-finite point leaked into the chart")
+	}
+}
+
+func TestChartDegenerateRange(t *testing.T) {
+	c := NewChart("flat", "", "")
+	c.AddSeries("s", []float64{1, 2, 3}, []float64{7, 7, 7}) // zero y-range
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "*") {
+		t.Fatal("flat series not plotted")
+	}
+	c2 := NewChart("point", "", "")
+	c2.AddSeries("s", []float64{5}, []float64{5}) // single point
+	var sb2 strings.Builder
+	if err := c2.Render(&sb2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChartManySeriesMarksCycle(t *testing.T) {
+	c := NewChart("cycle", "", "")
+	for i := 0; i < 8; i++ {
+		c.AddSeries("s", []float64{float64(i)}, []float64{float64(i)})
+	}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChartTinyDimensionsClamped(t *testing.T) {
+	c := NewChart("tiny", "", "")
+	c.Width, c.Height = 1, 1
+	c.AddSeries("s", []float64{1, 2}, []float64{1, 2})
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: summaries, quantiles, least-squares fits (for
+// verifying growth rates such as "rounds grow like log log d"), and
+// formatting of aligned text tables and CSV.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N            int
+	Min, Max     float64
+	Mean, Stddev float64
+	Median, P90  float64
+}
+
+// Summarize computes a Summary. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	varsum := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		varsum += d * d
+	}
+	if len(xs) > 1 {
+		s.Stddev = math.Sqrt(varsum / float64(len(xs)-1))
+	}
+	s.Median = Quantile(xs, 0.5)
+	s.P90 = Quantile(xs, 0.9)
+	return s
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of xs using linear
+// interpolation between order statistics. It copies the input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	pos := q * float64(len(ys)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return ys[lo]
+	}
+	frac := pos - float64(lo)
+	return ys[lo]*(1-frac) + ys[hi]*frac
+}
+
+// GeometricMean returns the geometric mean of strictly positive samples.
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if !(x > 0) {
+			return math.NaN()
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// LinearFit fits y = a + b·x by least squares and returns (a, b, r²).
+// Degenerate inputs (fewer than 2 points, zero x-variance) return NaNs.
+func LinearFit(x, y []float64) (a, b, r2 float64) {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	if syy == 0 {
+		// Perfectly constant y: the fit is exact.
+		return a, b, 1
+	}
+	r2 = sxy * sxy / (sxx * syy)
+	return a, b, r2
+}
+
+// LogLog returns log2(log2(x)) clamped below at 0, the natural abscissa for
+// checking O(log log d) growth; defined for x > 1, else 0.
+func LogLog(x float64) float64 {
+	if x <= 2 {
+		return 0
+	}
+	return math.Log2(math.Log2(x))
+}

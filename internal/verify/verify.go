@@ -1,0 +1,128 @@
+// Package verify provides the correctness checks shared by tests,
+// experiments, and the CLI: cover validity, dual feasibility (the invariant
+// of Observation 3.1), and certified approximation ratios via weak LP
+// duality (Lemma 3.2).
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Tolerance is the absolute/relative slack allowed in floating-point
+// feasibility comparisons. The algorithms accumulate at most a few thousand
+// multiplies per dual variable, so 1e-9 relative slack is generous.
+const Tolerance = 1e-9
+
+// IsCover reports whether the vertex set marked true in cover touches every
+// edge of g. If not, it returns one uncovered edge id as a witness.
+func IsCover(g *graph.Graph, cover []bool) (ok bool, witness graph.EdgeID) {
+	for e := 0; e < g.NumEdges(); e++ {
+		u, v := g.Edge(graph.EdgeID(e))
+		if !cover[u] && !cover[v] {
+			return false, graph.EdgeID(e)
+		}
+	}
+	return true, -1
+}
+
+// CoverWeight returns the total weight of the vertices marked true.
+func CoverWeight(g *graph.Graph, cover []bool) float64 {
+	t := 0.0
+	for v := 0; v < g.NumVertices(); v++ {
+		if cover[v] {
+			t += g.Weight(graph.Vertex(v))
+		}
+	}
+	return t
+}
+
+// CoverSet converts a boolean cover mask into a vertex list.
+func CoverSet(cover []bool) []graph.Vertex {
+	var s []graph.Vertex
+	for v, in := range cover {
+		if in {
+			s = append(s, graph.Vertex(v))
+		}
+	}
+	return s
+}
+
+// DualFeasible checks the fractional-matching constraints of Observation
+// 3.1: x_e >= 0 for all e and sum_{e∋v} x_e <= w(v) (with tolerance) for all
+// v. It returns a descriptive error naming the first violated constraint.
+func DualFeasible(g *graph.Graph, x []float64) error {
+	if len(x) != g.NumEdges() {
+		return fmt.Errorf("verify: dual vector length %d, want %d", len(x), g.NumEdges())
+	}
+	for e, xe := range x {
+		if xe < -Tolerance || math.IsNaN(xe) || math.IsInf(xe, 0) {
+			return fmt.Errorf("verify: x[%d] = %v violates nonnegativity", e, xe)
+		}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		sum := 0.0
+		for _, e := range g.IncidentEdges(graph.Vertex(v)) {
+			sum += x[e]
+		}
+		w := g.Weight(graph.Vertex(v))
+		if sum > w*(1+Tolerance)+Tolerance {
+			return fmt.Errorf("verify: vertex %d dual constraint violated: sum=%v > w=%v", v, sum, w)
+		}
+	}
+	return nil
+}
+
+// DualValue returns the fractional-matching value sum_e x_e, which by weak
+// duality (Lemma 3.2) lower-bounds the weight of every vertex cover.
+func DualValue(x []float64) float64 {
+	t := 0.0
+	for _, xe := range x {
+		t += xe
+	}
+	return t
+}
+
+// Certificate bundles a cover with a feasible dual solution, yielding a
+// machine-checkable approximation guarantee with no reference to OPT:
+// OPT >= DualValue, so Ratio = weight/DualValue >= weight/OPT.
+type Certificate struct {
+	Cover  []bool
+	Duals  []float64
+	Weight float64 // cover weight
+	Bound  float64 // dual value: certified lower bound on OPT
+}
+
+// NewCertificate validates the pair and computes the certified ratio fields.
+func NewCertificate(g *graph.Graph, cover []bool, x []float64) (*Certificate, error) {
+	if len(cover) != g.NumVertices() {
+		return nil, fmt.Errorf("verify: cover length %d, want %d", len(cover), g.NumVertices())
+	}
+	if ok, e := IsCover(g, cover); !ok {
+		u, v := g.Edge(e)
+		return nil, fmt.Errorf("verify: edge %d=(%d,%d) uncovered", e, u, v)
+	}
+	if err := DualFeasible(g, x); err != nil {
+		return nil, err
+	}
+	return &Certificate{
+		Cover:  cover,
+		Duals:  x,
+		Weight: CoverWeight(g, cover),
+		Bound:  DualValue(x),
+	}, nil
+}
+
+// Ratio returns the certified approximation ratio Weight/Bound. For an
+// edgeless graph both are zero and the ratio is defined as 1.
+func (c *Certificate) Ratio() float64 {
+	if c.Bound == 0 {
+		if c.Weight == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return c.Weight / c.Bound
+}

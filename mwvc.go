@@ -1,0 +1,227 @@
+// Package mwvc is a Go reproduction of "A Massively Parallel Algorithm for
+// Minimum Weight Vertex Cover" (Ghaffari, Jin, Nilis — SPAA 2020,
+// arXiv:2005.10566): a randomized MPC algorithm with near-linear memory per
+// machine that computes a (2+ε)-approximate minimum-weight vertex cover in
+// O(log log d) rounds, d being the average degree.
+//
+// This package is the public facade. It re-exports the graph type and
+// offers one-call solvers for every algorithm in the repository:
+//
+//	g := mwvc.RandomGraph(seed, n, avgDegree)
+//	sol, err := mwvc.Solve(g, mwvc.Options{Algorithm: mwvc.AlgoMPC, Epsilon: 0.1})
+//	fmt.Println(sol.Weight, sol.CertifiedRatio, sol.Rounds)
+//
+// The heavy lifting lives in the internal packages (internal/core for the
+// paper's Algorithm 2, internal/centralized for Algorithm 1, internal/mpc
+// for the cluster substrate); see DESIGN.md for the full inventory.
+package mwvc
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/baselines"
+	"repro/internal/cclique"
+	"repro/internal/centralized"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/ggk"
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+// Graph is the weighted undirected graph type shared by all algorithms.
+type Graph = graph.Graph
+
+// Builder constructs graphs; see NewBuilder.
+type Builder = graph.Builder
+
+// Vertex identifies a vertex.
+type Vertex = graph.Vertex
+
+// NewBuilder returns a Builder for a graph on n vertices (unit weights by
+// default; set weights with SetWeight).
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// ReadGraph parses a graph in the repository's text format.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
+
+// WriteGraph serializes a graph in the repository's text format.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.Write(w, g) }
+
+// RandomGraph returns an Erdős–Rényi graph with the given expected average
+// degree and unit weights; a convenience for examples and quick starts.
+func RandomGraph(seed uint64, n int, avgDegree float64) *Graph {
+	return gen.GnpAvgDegree(seed, n, avgDegree)
+}
+
+// Algorithm selects a solver.
+type Algorithm string
+
+const (
+	// AlgoMPC is the paper's contribution: Algorithm 2, the O(log log d)-round
+	// MPC simulation (package internal/core).
+	AlgoMPC Algorithm = "mpc"
+	// AlgoCentralized is Algorithm 1 run sequentially with the degree-aware
+	// initialization (O(log Δ) iterations).
+	AlgoCentralized Algorithm = "centralized"
+	// AlgoLocalUniform is Algorithm 1 with the classic uniform initialization
+	// (O(log nW) iterations) — the pre-paper state of the art baseline.
+	AlgoLocalUniform Algorithm = "local-uniform"
+	// AlgoBYE is the sequential Bar-Yehuda–Even 2-approximation.
+	AlgoBYE Algorithm = "bye"
+	// AlgoGreedy is weighted greedy (no constant-factor guarantee).
+	AlgoGreedy Algorithm = "greedy"
+	// AlgoCongestedClique runs the primal–dual algorithm one-round-per-
+	// iteration under congested-clique constraints.
+	AlgoCongestedClique Algorithm = "congested-clique"
+	// AlgoGGK runs the unweighted GGK+18 round-compression algorithm
+	// (unit-weight graphs only) — the paper's direct ancestor.
+	AlgoGGK Algorithm = "ggk"
+	// AlgoExact is branch-and-bound (n ≤ 64 only).
+	AlgoExact Algorithm = "exact"
+)
+
+// Algorithms lists every selectable algorithm.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		AlgoMPC, AlgoCentralized, AlgoLocalUniform, AlgoBYE,
+		AlgoGreedy, AlgoCongestedClique, AlgoGGK, AlgoExact,
+	}
+}
+
+// Options configures Solve.
+type Options struct {
+	// Algorithm defaults to AlgoMPC.
+	Algorithm Algorithm
+	// Epsilon is the accuracy parameter for the primal–dual algorithms;
+	// defaults to 0.1.
+	Epsilon float64
+	// Seed drives all randomness; same seed ⇒ same output.
+	Seed uint64
+	// PaperConstants selects the literal asymptotic constants of the paper
+	// for AlgoMPC (see internal/core.ParamsPaper); default is the practical
+	// scaling.
+	PaperConstants bool
+	// Parallelism bounds concurrent simulated machines (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// Solution is the outcome of Solve, with a self-contained quality
+// certificate whenever the algorithm provides one.
+type Solution struct {
+	// Cover marks the chosen vertices.
+	Cover []bool
+	// Weight is the total weight of the cover.
+	Weight float64
+	// Bound is a certified lower bound on OPT (weak LP duality), or 0 when
+	// the algorithm provides no certificate (greedy).
+	Bound float64
+	// CertifiedRatio is Weight/Bound (+Inf if Bound is 0 and Weight > 0,
+	// 1 for the empty instance).
+	CertifiedRatio float64
+	// Rounds counts communication rounds for the distributed algorithms
+	// (MPC rounds for AlgoMPC, iterations for the LOCAL baselines,
+	// congested-clique rounds for AlgoCongestedClique); 0 for sequential
+	// algorithms.
+	Rounds int
+	// Phases counts the sampled MPC phases (AlgoMPC only).
+	Phases int
+	// Exact reports that Weight is the true optimum (AlgoExact only).
+	Exact bool
+}
+
+// Solve computes a vertex cover of g with the selected algorithm.
+func Solve(g *Graph, opts Options) (*Solution, error) {
+	if g == nil {
+		return nil, fmt.Errorf("mwvc: nil graph")
+	}
+	if opts.Algorithm == "" {
+		opts.Algorithm = AlgoMPC
+	}
+	if opts.Epsilon == 0 {
+		opts.Epsilon = 0.1
+	}
+	switch opts.Algorithm {
+	case AlgoMPC:
+		params := core.ParamsPractical(opts.Epsilon, opts.Seed)
+		if opts.PaperConstants {
+			params = core.ParamsPaper(opts.Epsilon, opts.Seed)
+		}
+		params.Parallelism = opts.Parallelism
+		res, err := core.Run(g, params)
+		if err != nil {
+			return nil, err
+		}
+		scaled, _ := res.FeasibleDual(g)
+		return finish(g, res.Cover, scaled, res.Rounds, res.Phases, false)
+	case AlgoCentralized, AlgoLocalUniform:
+		init := centralized.InitDegreeAware
+		if opts.Algorithm == AlgoLocalUniform {
+			init = centralized.InitUniform
+		}
+		sol, err := baselines.LocalPrimalDual(g, opts.Epsilon, opts.Seed, init)
+		if err != nil {
+			return nil, err
+		}
+		return finish(g, sol.Cover, sol.Duals, sol.Rounds, 0, false)
+	case AlgoBYE:
+		sol := baselines.BarYehudaEven(g)
+		return finish(g, sol.Cover, sol.Duals, 0, 0, false)
+	case AlgoGreedy:
+		sol := baselines.Greedy(g)
+		return finish(g, sol.Cover, nil, 0, 0, false)
+	case AlgoCongestedClique:
+		res, err := cclique.Run(g, opts.Epsilon, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return finish(g, res.Cover, res.X, res.Rounds, 0, false)
+	case AlgoGGK:
+		res, err := ggk.Run(g, opts.Epsilon, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return finish(g, res.Cover, res.FeasibleDual(), res.Rounds, res.Phases, false)
+	case AlgoExact:
+		cover, _, err := exact.Solve(g)
+		if err != nil {
+			return nil, err
+		}
+		return finish(g, cover, nil, 0, 0, true)
+	default:
+		return nil, fmt.Errorf("mwvc: unknown algorithm %q", opts.Algorithm)
+	}
+}
+
+func finish(g *Graph, cover []bool, duals []float64, rounds, phases int, isExact bool) (*Solution, error) {
+	if ok, e := verify.IsCover(g, cover); !ok {
+		u, v := g.Edge(e)
+		return nil, fmt.Errorf("mwvc: internal error: edge (%d,%d) uncovered", u, v)
+	}
+	sol := &Solution{
+		Cover:  cover,
+		Weight: verify.CoverWeight(g, cover),
+		Rounds: rounds,
+		Phases: phases,
+		Exact:  isExact,
+	}
+	if duals != nil {
+		cert, err := verify.NewCertificate(g, cover, duals)
+		if err != nil {
+			return nil, fmt.Errorf("mwvc: internal error: invalid certificate: %w", err)
+		}
+		sol.Bound = cert.Bound
+		sol.CertifiedRatio = cert.Ratio()
+	} else if isExact {
+		sol.Bound = sol.Weight
+		sol.CertifiedRatio = 1
+	} else if sol.Weight == 0 {
+		sol.CertifiedRatio = 1
+	} else {
+		sol.CertifiedRatio = math.Inf(1)
+	}
+	return sol, nil
+}

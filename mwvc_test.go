@@ -1,0 +1,132 @@
+package mwvc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestSolveAllAlgorithmsSmall(t *testing.T) {
+	g := RandomGraph(3, 60, 6)
+	for _, algo := range Algorithms() {
+		sol, err := Solve(g, Options{Algorithm: algo, Epsilon: 0.1, Seed: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if sol.Weight <= 0 && g.NumEdges() > 0 {
+			t.Fatalf("%s: weight %v on a graph with edges", algo, sol.Weight)
+		}
+		switch algo {
+		case AlgoGreedy:
+			if sol.Bound != 0 {
+				t.Fatalf("greedy claimed a bound")
+			}
+		case AlgoExact:
+			if !sol.Exact || sol.CertifiedRatio != 1 {
+				t.Fatalf("exact solution not marked exact")
+			}
+		default:
+			if sol.Bound <= 0 {
+				t.Fatalf("%s: no certified bound", algo)
+			}
+			if sol.CertifiedRatio > 3.0001 {
+				t.Fatalf("%s: certified ratio %v", algo, sol.CertifiedRatio)
+			}
+		}
+	}
+}
+
+func TestSolveDefaults(t *testing.T) {
+	g := RandomGraph(1, 200, 10)
+	sol, err := Solve(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Rounds <= 0 {
+		t.Fatal("MPC default should report rounds")
+	}
+}
+
+func TestSolveAgainstExact(t *testing.T) {
+	g := RandomGraph(9, 40, 5)
+	opt, err := Solve(g, Options{Algorithm: AlgoExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{AlgoMPC, AlgoCentralized, AlgoBYE, AlgoCongestedClique} {
+		sol, err := Solve(g, Options{Algorithm: algo, Epsilon: 0.1, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if sol.Weight < opt.Weight-1e-9 {
+			t.Fatalf("%s: weight %v below optimum %v (invalid cover?)", algo, sol.Weight, opt.Weight)
+		}
+		if sol.Weight > 3*opt.Weight+1e-9 {
+			t.Fatalf("%s: weight %v exceeds 3×OPT %v", algo, sol.Weight, opt.Weight)
+		}
+		if sol.Bound > opt.Weight+1e-9 {
+			t.Fatalf("%s: bound %v exceeds OPT %v (weak duality broken)", algo, sol.Bound, opt.Weight)
+		}
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	if _, err := Solve(nil, Options{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	g := RandomGraph(1, 10, 2)
+	if _, err := Solve(g, Options{Algorithm: "nonsense"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	big := NewBuilder(100)
+	big.AddEdge(0, 1)
+	bg, err := big.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(bg, Options{Algorithm: AlgoExact}); err == nil {
+		t.Fatal("exact on 100 vertices accepted")
+	}
+}
+
+func TestGraphIORoundTrip(t *testing.T) {
+	g := RandomGraph(4, 50, 4)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVertices() != g.NumVertices() || h.NumEdges() != g.NumEdges() {
+		t.Fatal("round trip changed the graph")
+	}
+}
+
+func TestPaperConstantsOption(t *testing.T) {
+	g := RandomGraph(2, 300, 12)
+	sol, err := Solve(g, Options{PaperConstants: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Phases != 0 {
+		t.Fatalf("paper constants at n=300 should run 0 sampled phases, got %d", sol.Phases)
+	}
+	if math.IsInf(sol.CertifiedRatio, 1) {
+		t.Fatal("no certificate")
+	}
+}
+
+func TestEdgelessSolution(t *testing.T) {
+	g := NewBuilder(5).MustBuild()
+	for _, algo := range Algorithms() {
+		sol, err := Solve(g, Options{Algorithm: algo})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if sol.Weight != 0 || sol.CertifiedRatio != 1 {
+			t.Fatalf("%s: edgeless weight %v ratio %v", algo, sol.Weight, sol.CertifiedRatio)
+		}
+	}
+}
