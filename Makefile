@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test bench lint fmt tables
+
+all: lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Per-algorithm micro-benchmarks plus the quick-mode experiment benches.
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+# Regenerate the full-size experiment tables (minutes).
+tables:
+	$(GO) run ./cmd/mwvc-bench

@@ -7,6 +7,8 @@ package mwvc_test
 // come from `go run ./cmd/mwvc-bench`.
 
 import (
+	"context"
+
 	"testing"
 
 	mwvc "repro"
@@ -63,7 +65,7 @@ func BenchmarkAlgorithmMPC(b *testing.B) {
 			b.ResetTimer()
 			rounds := 0
 			for i := 0; i < b.N; i++ {
-				res, err := core.Run(g, core.ParamsPractical(0.1, uint64(i)+1))
+				res, err := core.Run(context.Background(), g, core.ParamsPractical(0.1, uint64(i)+1))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -79,7 +81,7 @@ func BenchmarkAlgorithmCentralized(b *testing.B) {
 	g := benchGraph(16000, 64)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := centralized.Run(centralized.Instance{G: g}, centralized.Options{Epsilon: 0.1, Seed: uint64(i) + 1}); err != nil {
+		if _, err := centralized.Run(context.Background(), centralized.Instance{G: g}, centralized.Options{Epsilon: 0.1, Seed: uint64(i) + 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -105,7 +107,7 @@ func BenchmarkFacadeSolve(b *testing.B) {
 	g := mwvc.RandomGraph(1, 4000, 32)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := mwvc.Solve(g, mwvc.Options{Seed: uint64(i) + 1}); err != nil {
+		if _, err := mwvc.Solve(context.Background(), g, mwvc.WithSeed(uint64(i)+1)); err != nil {
 			b.Fatal(err)
 		}
 	}

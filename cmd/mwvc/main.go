@@ -7,11 +7,18 @@
 //	mwvc -gen gnp -n 10000 -d 64 -weights uniform -algo mpc
 //	mwvc -in graph.txt -algo bye
 //	mwvc -gen powerlaw -n 2000 -d 16 -algo mpc -compare
+//	mwvc -gen gnp -n 20000 -d 256 -algo mpc -trace
+//	mwvc -gen gnp -n 50000 -d 64 -algo mpc -timeout 2s
+//
+// The -algo list and its help text derive from the solver registry, so the
+// flag accepts exactly what the library accepts.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 	"time"
@@ -23,7 +30,7 @@ import (
 
 func main() {
 	var (
-		algo      = flag.String("algo", "mpc", "algorithm: mpc | centralized | local-uniform | bye | greedy | congested-clique | ggk (unit weights) | exact")
+		algo      = flag.String("algo", string(mwvc.AlgoMPC), "algorithm to run; one of:\n"+mwvc.AlgorithmHelp()+"\n")
 		eps       = flag.Float64("eps", 0.1, "accuracy parameter ε (ratio 2+O(ε))")
 		seed      = flag.Uint64("seed", 1, "random seed (same seed ⇒ same run)")
 		inFile    = flag.String("in", "", "read the graph from this file instead of generating one")
@@ -33,6 +40,8 @@ func main() {
 		weights   = flag.String("weights", "uniform", "weight model: "+strings.Join(cli.WeightModels(), " | "))
 		paper     = flag.Bool("paper-constants", false, "use the paper's literal asymptotic constants for the MPC algorithm")
 		compare   = flag.Bool("compare", false, "also run the baselines and print a comparison")
+		trace     = flag.Bool("trace", false, "stream per-phase and per-round solve events to stderr")
+		timeout   = flag.Duration("timeout", 0, "abort the solve after this long (0 = no deadline)")
 	)
 	flag.Parse()
 
@@ -43,21 +52,38 @@ func main() {
 	fmt.Printf("instance: n=%d m=%d avg_degree=%.1f total_weight=%.1f\n",
 		g.NumVertices(), g.NumEdges(), g.AverageDegree(), g.TotalWeight())
 
-	runOne := func(a mwvc.Algorithm) {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	runOne := func(a mwvc.Algorithm, traced bool) {
+		opts := []mwvc.Option{
+			mwvc.WithAlgorithm(a),
+			mwvc.WithEpsilon(*eps),
+			mwvc.WithSeed(*seed),
+		}
+		if *paper {
+			opts = append(opts, mwvc.WithPaperConstants())
+		}
+		if traced {
+			opts = append(opts, mwvc.WithObserver(mwvc.ObserverFunc(traceEvent)))
+		}
 		start := time.Now()
-		sol, err := mwvc.Solve(g, mwvc.Options{
-			Algorithm:      a,
-			Epsilon:        *eps,
-			Seed:           *seed,
-			PaperConstants: *paper,
-		})
+		sol, err := mwvc.Solve(ctx, g, opts...)
 		if err != nil {
 			fmt.Printf("%-18s error: %v\n", a, err)
 			return
 		}
 		elapsed := time.Since(start)
 		line := fmt.Sprintf("%-18s weight=%.2f", a, sol.Weight)
-		if sol.Bound > 0 {
+		// CertifiedRatio is +Inf for certificate-free algorithms (greedy);
+		// print n/a rather than the convention value.
+		if math.IsInf(sol.CertifiedRatio, 1) {
+			line += "  certified_ratio=n/a (no certificate)"
+		} else {
 			line += fmt.Sprintf("  certified_ratio=%.4f (bound %.2f)", sol.CertifiedRatio, sol.Bound)
 		}
 		if sol.Rounds > 0 {
@@ -72,7 +98,7 @@ func main() {
 		fmt.Printf("%s  [%v]\n", line, elapsed.Round(time.Millisecond))
 	}
 
-	runOne(mwvc.Algorithm(*algo))
+	runOne(mwvc.Algorithm(*algo), *trace)
 	if *compare {
 		for _, a := range mwvc.Algorithms() {
 			if string(a) == *algo {
@@ -84,8 +110,27 @@ func main() {
 			if a == mwvc.AlgoCongestedClique && g.NumVertices() > 5000 {
 				continue // one machine per vertex; keep comparisons snappy
 			}
-			runOne(a)
+			runOne(a, false)
 		}
+	}
+}
+
+// traceEvent renders one solve event for -trace. Events stream to stderr so
+// the result lines on stdout stay machine-parseable.
+func traceEvent(e mwvc.Event) {
+	switch e.Kind {
+	case mwvc.KindPhaseStart:
+		fmt.Fprintf(os.Stderr, "[trace] phase %d start: degree=%.1f machines=%d iters=%d active_edges=%d\n",
+			e.Phase, e.Degree, e.Machines, e.Iterations, e.ActiveEdges)
+	case mwvc.KindRound:
+		fmt.Fprintf(os.Stderr, "[trace]   round %d: phase=%d active_edges=%d dual=%.3f\n",
+			e.Round, e.Phase, e.ActiveEdges, e.DualBound)
+	case mwvc.KindPhaseEnd:
+		fmt.Fprintf(os.Stderr, "[trace] phase %d done: active_edges=%d dual=%.3f\n",
+			e.Phase, e.ActiveEdges, e.DualBound)
+	case mwvc.KindFinalPhase:
+		fmt.Fprintf(os.Stderr, "[trace] final phase: iterations=%d rounds=%d dual=%.3f\n",
+			e.Iterations, e.Round, e.DualBound)
 	}
 }
 

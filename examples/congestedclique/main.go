@@ -6,6 +6,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -33,14 +35,14 @@ func main() {
 	fmt.Printf("overlay: %d nodes, %d conflicts, avg degree %.1f\n\n",
 		wg.NumVertices(), wg.NumEdges(), wg.AverageDegree())
 
-	cc, err := mwvc.Solve(wg, mwvc.Options{Algorithm: mwvc.AlgoCongestedClique, Epsilon: 0.1, Seed: 11})
+	cc, err := mwvc.Solve(context.Background(), wg, mwvc.WithAlgorithm(mwvc.AlgoCongestedClique), mwvc.WithEpsilon(0.1), mwvc.WithSeed(11))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("congested clique (1 machine per node, ≤2 words per pair per round):\n")
 	fmt.Printf("  cost=%.1f  certified ≤ %.3f×OPT  rounds=%d\n\n", cc.Weight, cc.CertifiedRatio, cc.Rounds)
 
-	mpc, err := mwvc.Solve(wg, mwvc.Options{Algorithm: mwvc.AlgoMPC, Epsilon: 0.1, Seed: 11})
+	mpc, err := mwvc.Solve(context.Background(), wg, mwvc.WithAlgorithm(mwvc.AlgoMPC), mwvc.WithEpsilon(0.1), mwvc.WithSeed(11))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,6 +3,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -26,7 +28,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sol, err := mwvc.Solve(g, mwvc.Options{Algorithm: mwvc.AlgoMPC, Epsilon: 0.1, Seed: 42})
+	sol, err := mwvc.Solve(context.Background(), g, mwvc.WithAlgorithm(mwvc.AlgoMPC), mwvc.WithEpsilon(0.1), mwvc.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,7 +47,7 @@ func main() {
 
 	// The same instance, solved exactly for comparison (only viable for
 	// small n):
-	opt, err := mwvc.Solve(g, mwvc.Options{Algorithm: mwvc.AlgoExact})
+	opt, err := mwvc.Solve(context.Background(), g, mwvc.WithAlgorithm(mwvc.AlgoExact))
 	if err != nil {
 		log.Fatal(err)
 	}

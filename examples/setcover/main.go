@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -61,7 +63,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	vc, err := mwvc.Solve(g, mwvc.Options{Algorithm: mwvc.AlgoBYE})
+	vc, err := mwvc.Solve(context.Background(), g, mwvc.WithAlgorithm(mwvc.AlgoBYE))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"math"
@@ -68,7 +70,7 @@ func main() {
 
 	for _, algo := range []mwvc.Algorithm{mwvc.AlgoMPC, mwvc.AlgoCentralized, mwvc.AlgoBYE, mwvc.AlgoGreedy} {
 		start := time.Now()
-		sol, err := mwvc.Solve(g, mwvc.Options{Algorithm: algo, Epsilon: 0.1, Seed: 7})
+		sol, err := mwvc.Solve(context.Background(), g, mwvc.WithAlgorithm(algo), mwvc.WithEpsilon(0.1), mwvc.WithSeed(7))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"math"
@@ -37,15 +39,15 @@ func main() {
 			log.Fatal(err)
 		}
 
-		aware, err := mwvc.Solve(g, mwvc.Options{Algorithm: mwvc.AlgoCentralized, Epsilon: 0.1, Seed: 3})
+		aware, err := mwvc.Solve(context.Background(), g, mwvc.WithAlgorithm(mwvc.AlgoCentralized), mwvc.WithEpsilon(0.1), mwvc.WithSeed(3))
 		if err != nil {
 			log.Fatal(err)
 		}
-		uniform, err := mwvc.Solve(g, mwvc.Options{Algorithm: mwvc.AlgoLocalUniform, Epsilon: 0.1, Seed: 3})
+		uniform, err := mwvc.Solve(context.Background(), g, mwvc.WithAlgorithm(mwvc.AlgoLocalUniform), mwvc.WithEpsilon(0.1), mwvc.WithSeed(3))
 		if err != nil {
 			log.Fatal(err)
 		}
-		mpc, err := mwvc.Solve(g, mwvc.Options{Algorithm: mwvc.AlgoMPC, Epsilon: 0.1, Seed: 3})
+		mpc, err := mwvc.Solve(context.Background(), g, mwvc.WithAlgorithm(mwvc.AlgoMPC), mwvc.WithEpsilon(0.1), mwvc.WithSeed(3))
 		if err != nil {
 			log.Fatal(err)
 		}

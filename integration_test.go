@@ -6,6 +6,8 @@ package mwvc_test
 // the exact paths a downstream user composes.
 
 import (
+	"context"
+
 	"bytes"
 	"fmt"
 	"math"
@@ -33,7 +35,7 @@ func TestIntegrationMatrix(t *testing.T) {
 					t.Fatal(err)
 				}
 				for _, algo := range algos {
-					sol, err := mwvc.Solve(g, mwvc.Options{Algorithm: algo, Epsilon: 0.1, Seed: 3})
+					sol, err := mwvc.Solve(context.Background(), g, mwvc.WithAlgorithm(algo), mwvc.WithEpsilon(0.1), mwvc.WithSeed(3))
 					if err != nil {
 						t.Fatalf("%s: %v", algo, err)
 					}
@@ -64,11 +66,11 @@ func TestIntegrationSerializeSolve(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := mwvc.Solve(g, mwvc.Options{Seed: 5})
+	a, err := mwvc.Solve(context.Background(), g, mwvc.WithSeed(5))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := mwvc.Solve(h, mwvc.Options{Seed: 5})
+	b, err := mwvc.Solve(context.Background(), h, mwvc.WithSeed(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +102,7 @@ func TestIntegrationDisconnectedComponents(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, algo := range []mwvc.Algorithm{mwvc.AlgoMPC, mwvc.AlgoCentralized, mwvc.AlgoBYE, mwvc.AlgoCongestedClique} {
-		sol, err := mwvc.Solve(g, mwvc.Options{Algorithm: algo, Seed: 2})
+		sol, err := mwvc.Solve(context.Background(), g, mwvc.WithAlgorithm(algo), mwvc.WithSeed(2))
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
@@ -131,7 +133,7 @@ func TestIntegrationHeavyTailVsExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cover, w, err := exact.Solve(g)
+	cover, w, err := exact.Solve(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +144,7 @@ func TestIntegrationHeavyTailVsExact(t *testing.T) {
 		t.Fatal("exact result not a cover")
 	}
 	for _, algo := range []mwvc.Algorithm{mwvc.AlgoMPC, mwvc.AlgoCentralized, mwvc.AlgoBYE} {
-		sol, err := mwvc.Solve(g, mwvc.Options{Algorithm: algo, Epsilon: 0.1, Seed: 9})
+		sol, err := mwvc.Solve(context.Background(), g, mwvc.WithAlgorithm(algo), mwvc.WithEpsilon(0.1), mwvc.WithSeed(9))
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
@@ -158,7 +160,7 @@ func TestIntegrationScaleSmoke(t *testing.T) {
 	}
 	// A quarter-million-edge instance through the full MPC pipeline.
 	g := gen.ApplyWeights(gen.GnpAvgDegree(31, 20000, 24), 5, gen.Exponential{Mean: 3})
-	res, err := core.Run(g, core.ParamsPractical(0.1, 17))
+	res, err := core.Run(context.Background(), g, core.ParamsPractical(0.1, 17))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +189,7 @@ func TestIntegrationSeedSensitivity(t *testing.T) {
 	}
 	weights := map[string]bool{}
 	for seed := uint64(1); seed <= 5; seed++ {
-		sol, err := mwvc.Solve(g, mwvc.Options{Seed: seed})
+		sol, err := mwvc.Solve(context.Background(), g, mwvc.WithSeed(seed))
 		if err != nil {
 			t.Fatal(err)
 		}

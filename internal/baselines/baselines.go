@@ -15,6 +15,7 @@
 package baselines
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -70,8 +71,8 @@ func BarYehudaEven(g *graph.Graph) *Solution {
 // LOCAL-model baseline. With the degree-aware initialization it terminates
 // in O(log Δ) rounds; with InitUniform in O(log(n·W/w_min)) rounds. The
 // returned Rounds is the iteration count.
-func LocalPrimalDual(g *graph.Graph, epsilon float64, seed uint64, init centralized.InitPolicy) (*Solution, error) {
-	res, err := centralized.Run(
+func LocalPrimalDual(ctx context.Context, g *graph.Graph, epsilon float64, seed uint64, init centralized.InitPolicy) (*Solution, error) {
+	res, err := centralized.Run(ctx,
 		centralized.Instance{G: g},
 		centralized.Options{Epsilon: epsilon, Seed: seed, Init: init},
 	)

@@ -1,6 +1,8 @@
 package baselines
 
 import (
+	"context"
+
 	"math"
 	"testing"
 	"testing/quick"
@@ -32,7 +34,7 @@ func TestBYEAgainstExact(t *testing.T) {
 		if ok, _ := verify.IsCover(g, sol.Cover); !ok {
 			return false
 		}
-		_, opt, err := exact.Solve(g)
+		_, opt, err := exact.Solve(context.Background(), g)
 		if err != nil {
 			t.Log(err)
 			return false
@@ -65,11 +67,11 @@ func TestBYEStar(t *testing.T) {
 func TestLocalPrimalDualRounds(t *testing.T) {
 	eps := 0.1
 	g := gen.ApplyWeights(gen.GnpAvgDegree(7, 1000, 32), 2, gen.PowerLaw{MaxWeight: 1e6})
-	aware, err := LocalPrimalDual(g, eps, 1, centralized.InitDegreeAware)
+	aware, err := LocalPrimalDual(context.Background(), g, eps, 1, centralized.InitDegreeAware)
 	if err != nil {
 		t.Fatal(err)
 	}
-	uniform, err := LocalPrimalDual(g, eps, 1, centralized.InitUniform)
+	uniform, err := LocalPrimalDual(context.Background(), g, eps, 1, centralized.InitUniform)
 	if err != nil {
 		t.Fatal(err)
 	}

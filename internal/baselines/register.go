@@ -1,0 +1,40 @@
+package baselines
+
+import (
+	"context"
+
+	"repro/internal/graph"
+	"repro/internal/solver"
+)
+
+func init() {
+	solver.Register(solver.Meta{
+		Name:    "bye",
+		Rank:    30,
+		Summary: "sequential Bar-Yehuda–Even 2-approximation (single pass, self-certifying)",
+	}, solver.Func(solveBYE))
+	solver.Register(solver.Meta{
+		Name:    "greedy",
+		Rank:    40,
+		Summary: "weighted greedy (no constant-factor guarantee, no certificate)",
+	}, solver.Func(solveGreedy))
+}
+
+// The sequential baselines finish in one linear pass, so they only honor a
+// cancellation observed at entry; there is no iterative loop to interrupt.
+
+func solveBYE(ctx context.Context, g *graph.Graph, cfg solver.Config) (*solver.Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sol := BarYehudaEven(g)
+	return &solver.Outcome{Cover: sol.Cover, Duals: sol.Duals}, nil
+}
+
+func solveGreedy(ctx context.Context, g *graph.Graph, cfg solver.Config) (*solver.Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sol := Greedy(g)
+	return &solver.Outcome{Cover: sol.Cover}, nil
+}

@@ -1,6 +1,8 @@
 package bipartite
 
 import (
+	"context"
+
 	"testing"
 	"testing/quick"
 
@@ -112,7 +114,7 @@ func TestMinimumVertexCoverMatchesBranchAndBound(t *testing.T) {
 		if ok, _ := verify.IsCover(g, cover); !ok {
 			return false
 		}
-		_, opt, err := exact.Solve(g)
+		_, opt, err := exact.Solve(context.Background(), g)
 		if err != nil {
 			t.Log(err)
 			return false

@@ -15,12 +15,14 @@
 package cclique
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/graph"
 	"repro/internal/mpc"
 	"repro/internal/rng"
+	"repro/internal/solver"
 )
 
 // Result of a congested-clique run.
@@ -38,9 +40,17 @@ type Result struct {
 // vertex. Per round each machine sends at most PairWords=2 words to each
 // neighbor: the setup round exchanges w(v)/d(v) ratios; each iteration
 // round broadcasts the machine's new frozen status.
-func Run(g *graph.Graph, epsilon float64, seed uint64) (*Result, error) {
+//
+// The context is checked before every congested-clique round; cfg.Observer
+// receives one KindRound event per accounted round (event count ==
+// Result.Rounds).
+func Run(ctx context.Context, g *graph.Graph, cfg solver.Config) (*Result, error) {
+	epsilon, seed := cfg.Epsilon, cfg.Seed
 	if epsilon <= 0 || epsilon > 0.125 {
 		return nil, fmt.Errorf("cclique: epsilon %v out of (0, 0.125]", epsilon)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	n := g.NumVertices()
 	if n == 0 {
@@ -89,8 +99,42 @@ func Run(g *graph.Graph, epsilon float64, seed uint64) (*Result, error) {
 		}
 	}
 
+	// step runs one congested-clique round with a context check before it
+	// and a KindRound event after it. The active-edge recount happens inside
+	// step, after the round's freezes landed, so events report the true
+	// post-round count (it doubles as the driver's termination bookkeeping —
+	// the constant-round aggregation a LOCAL scheduler would use, accounted
+	// at the end).
+	activeEdges := int64(g.NumEdges())
+	recount := func() int64 {
+		c := int64(0)
+		for e := 0; e < g.NumEdges(); e++ {
+			u, w := g.Edge(graph.EdgeID(e))
+			if states[u].active && states[w].active {
+				c++
+			}
+		}
+		return c
+	}
+	step := func(fn mpc.StepFunc) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := cluster.Round(fn); err != nil {
+			return err
+		}
+		activeEdges = recount()
+		solver.Emit(cfg.Observer, solver.Event{
+			Kind:        solver.KindRound,
+			Phase:       -1,
+			Round:       cluster.Metrics().Rounds,
+			ActiveEdges: activeEdges,
+		})
+		return nil
+	}
+
 	// Setup round: every machine sends its w/d ratio to each neighbor.
-	err = cluster.Round(func(m *mpc.Machine) error {
+	err = step(func(m *mpc.Machine) error {
 		v := graph.Vertex(m.ID())
 		if err := m.Charge(int64(8*g.Degree(v) + 16)); err != nil {
 			return err
@@ -109,13 +153,12 @@ func Run(g *graph.Graph, epsilon float64, seed uint64) (*Result, error) {
 	// Iteration rounds. Each machine: ingest neighbor ratios (first round)
 	// or freeze notifications; test its threshold; send its status change.
 	maxIter := 3 + int(math.Ceil(math.Log(float64(g.MaxDegree())+2)/math.Log(growth)))
-	activeEdges := int64(g.NumEdges())
 	setup := true
 	t := 0
 	for ; activeEdges > 0 && t < maxIter; t++ {
 		iter := t
 		isSetup := setup
-		err := cluster.Round(func(m *mpc.Machine) error {
+		err := step(func(m *mpc.Machine) error {
 			v := graph.Vertex(m.ID())
 			st := &states[v]
 			nbrs := g.Neighbors(v)
@@ -177,22 +220,18 @@ func Run(g *graph.Graph, epsilon float64, seed uint64) (*Result, error) {
 			return nil, err
 		}
 		setup = false
-		// Driver bookkeeping (no communication): count remaining active
-		// edges to decide termination, exactly as a LOCAL scheduler knows
-		// termination via a constant-round aggregation (accounted below).
-		activeEdges = 0
-		for e := 0; e < g.NumEdges(); e++ {
-			u, w := g.Edge(graph.EdgeID(e))
-			if states[u].active && states[w].active {
-				activeEdges++
-			}
-		}
 	}
 	if activeEdges > 0 {
 		return nil, fmt.Errorf("cclique: %d active edges after %d rounds", activeEdges, t)
 	}
 	// One accounted aggregation round for global termination detection.
 	cluster.AccountRounds(1)
+	solver.Emit(cfg.Observer, solver.Event{
+		Kind:        solver.KindRound,
+		Phase:       -1,
+		Round:       cluster.Metrics().Rounds,
+		ActiveEdges: 0,
+	})
 
 	res := &Result{
 		Cover: make([]bool, n),

@@ -1,6 +1,10 @@
 package cclique
 
 import (
+	"repro/internal/solver"
+
+	"context"
+
 	"math"
 	"testing"
 
@@ -12,7 +16,7 @@ import (
 func TestRunProducesCertifiedCover(t *testing.T) {
 	eps := 0.1
 	g := gen.ApplyWeights(gen.GnpAvgDegree(3, 300, 12), 5, gen.UniformRange{Lo: 1, Hi: 10})
-	res, err := Run(g, eps, 7)
+	res, err := Run(context.Background(), g, solver.Config{Epsilon: eps, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +32,7 @@ func TestRunProducesCertifiedCover(t *testing.T) {
 func TestRoundsTrackLogDelta(t *testing.T) {
 	eps := 0.1
 	g := gen.GnpAvgDegree(4, 400, 16)
-	res, err := Run(g, eps, 3)
+	res, err := Run(context.Background(), g, solver.Config{Epsilon: eps, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +49,7 @@ func TestPairCapsRespected(t *testing.T) {
 	// Run must complete without tripping the substrate's per-pair cap —
 	// i.e. the implementation really is a congested-clique algorithm.
 	g := gen.ApplyWeights(gen.PreferentialAttachment(5, 200, 3), 2, gen.Exponential{Mean: 2})
-	res, err := Run(g, 0.1, 1)
+	res, err := Run(context.Background(), g, solver.Config{Epsilon: 0.1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +65,7 @@ func TestEndpointDualsAgree(t *testing.T) {
 	// The X reconstruction takes the max over the two endpoints' views;
 	// feasibility of the result implies the views never diverged upward.
 	g := gen.ApplyWeights(gen.GnpAvgDegree(6, 150, 8), 9, gen.UniformRange{Lo: 0.5, Hi: 5})
-	res, err := Run(g, 0.05, 11)
+	res, err := Run(context.Background(), g, solver.Config{Epsilon: 0.05, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,10 +80,10 @@ func TestEndpointDualsAgree(t *testing.T) {
 }
 
 func TestDegenerateInputs(t *testing.T) {
-	if _, err := Run(graph.NewBuilder(0).MustBuild(), 0.1, 1); err != nil {
+	if _, err := Run(context.Background(), graph.NewBuilder(0).MustBuild(), solver.Config{Epsilon: 0.1, Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(graph.NewBuilder(3).MustBuild(), 0.1, 1)
+	res, err := Run(context.Background(), graph.NewBuilder(3).MustBuild(), solver.Config{Epsilon: 0.1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,18 +92,18 @@ func TestDegenerateInputs(t *testing.T) {
 			t.Fatal("edgeless vertex covered")
 		}
 	}
-	if _, err := Run(gen.Path(4), 0.5, 1); err == nil {
+	if _, err := Run(context.Background(), gen.Path(4), solver.Config{Epsilon: 0.5, Seed: 1}); err == nil {
 		t.Fatal("bad epsilon accepted")
 	}
 }
 
 func TestDeterminism(t *testing.T) {
 	g := gen.ApplyWeights(gen.GnpAvgDegree(8, 200, 10), 3, gen.UniformRange{Lo: 1, Hi: 4})
-	a, err := Run(g, 0.1, 42)
+	a, err := Run(context.Background(), g, solver.Config{Epsilon: 0.1, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(g, 0.1, 42)
+	b, err := Run(context.Background(), g, solver.Config{Epsilon: 0.1, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}

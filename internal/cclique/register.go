@@ -1,0 +1,24 @@
+package cclique
+
+import (
+	"context"
+
+	"repro/internal/graph"
+	"repro/internal/solver"
+)
+
+func init() {
+	solver.Register(solver.Meta{
+		Name:    "congested-clique",
+		Rank:    50,
+		Summary: "primal–dual with one machine per vertex under congested-clique message caps",
+	}, solver.Func(solve))
+}
+
+func solve(ctx context.Context, g *graph.Graph, cfg solver.Config) (*solver.Outcome, error) {
+	res, err := Run(ctx, g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &solver.Outcome{Cover: res.Cover, Duals: res.X, Rounds: res.Rounds}, nil
+}

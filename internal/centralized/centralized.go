@@ -21,12 +21,14 @@
 package centralized
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/solver"
 )
 
 // InitPolicy selects the initial fractional matching {x_{e,0}}.
@@ -100,6 +102,10 @@ type Options struct {
 	// RecordTrace, when set, stores y_{v,t} for every vertex and iteration
 	// (O(n·T) memory) — needed by the Lemma 4.6 coupling experiments.
 	RecordTrace bool
+	// Observer, when non-nil, receives one KindRound event per executed
+	// iteration (iteration = communication round in the LOCAL reading), so
+	// the round-event count equals Result.Iterations.
+	Observer solver.Observer
 }
 
 // Instance is a (possibly residual) problem: a graph, an active-vertex mask,
@@ -187,11 +193,15 @@ func DeriveX0(inst Instance, policy InitPolicy) ([]float64, error) {
 	return x0, nil
 }
 
-// Run executes Algorithm 1 on the instance.
-func Run(inst Instance, opts Options) (*Result, error) {
+// Run executes Algorithm 1 on the instance. The context is checked once per
+// iteration; cancellation ends the run with ctx.Err().
+func Run(ctx context.Context, inst Instance, opts Options) (*Result, error) {
 	g := inst.G
 	if g == nil {
 		return nil, errors.New("centralized: nil graph")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if opts.Epsilon <= 0 || opts.Epsilon > 0.125 {
 		return nil, fmt.Errorf("centralized: epsilon %v out of (0, 0.125]", opts.Epsilon)
@@ -288,9 +298,15 @@ func Run(inst Instance, opts Options) (*Result, error) {
 		res.FreezeIter[v] = -1
 	}
 
+	// frozenDualSum tracks Σ x_e over frozen (finalized) edges for observer
+	// events; it is the raw dual total the certificate later builds on.
+	frozenDualSum := 0.0
 	var freezeList []graph.Vertex
 	t := 0
 	for ; activeEdges > 0; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if opts.StopAfter > 0 && t >= opts.StopAfter {
 			break
 		}
@@ -327,6 +343,7 @@ func Run(inst Instance, opts Options) (*Result, error) {
 				edgeActive[e] = false
 				edgeFreeze[e] = t
 				activeEdges--
+				frozenDualSum += x[e]
 				u := g.Other(e, v)
 				// Move the edge's weight from the active to the frozen sum of
 				// the surviving endpoint (and of v itself, harmlessly).
@@ -350,6 +367,13 @@ func Run(inst Instance, opts Options) (*Result, error) {
 				}
 			}
 		}
+		solver.Emit(opts.Observer, solver.Event{
+			Kind:        solver.KindRound,
+			Phase:       -1,
+			Round:       t + 1,
+			ActiveEdges: int64(activeEdges),
+			DualBound:   frozenDualSum,
+		})
 	}
 	if opts.RecordTrace {
 		// One extra snapshot so YTrace[t] is defined for t = Iterations as

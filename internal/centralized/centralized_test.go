@@ -1,6 +1,8 @@
 package centralized
 
 import (
+	"context"
+
 	"math"
 	"testing"
 	"testing/quick"
@@ -12,7 +14,7 @@ import (
 
 func run(t *testing.T, g *graph.Graph, opts Options) *Result {
 	t.Helper()
-	res, err := Run(Instance{G: g}, opts)
+	res, err := Run(context.Background(), Instance{G: g}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +128,7 @@ func TestPropositionRatioAcrossFamilies(t *testing.T) {
 		"clique":    gen.Clique(40),
 	}
 	for name, g := range families {
-		res, err := Run(Instance{G: g}, Options{Epsilon: eps, Seed: 11})
+		res, err := Run(context.Background(), Instance{G: g}, Options{Epsilon: eps, Seed: 11})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -147,7 +149,7 @@ func TestProposition34IterationBound(t *testing.T) {
 	growth := 1 / (1 - eps)
 	for _, wmax := range []float64{1, 1e3, 1e9} {
 		g := gen.ApplyWeights(gen.Gnp(4, 400, 0.05), 3, gen.PowerLaw{MaxWeight: math.Max(wmax, 2)})
-		res, err := Run(Instance{G: g}, Options{Epsilon: eps, Seed: 2, Init: InitDegreeAware})
+		res, err := Run(context.Background(), Instance{G: g}, Options{Epsilon: eps, Seed: 2, Init: InitDegreeAware})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -165,7 +167,7 @@ func TestUniformInitDegradesWithWeightRange(t *testing.T) {
 	base := gen.Gnp(4, 300, 0.05)
 	iters := func(wmax float64, policy InitPolicy) int {
 		g := gen.ApplyWeights(base, 3, gen.PowerLaw{MaxWeight: wmax})
-		res, err := Run(Instance{G: g}, Options{Epsilon: eps, Seed: 2, Init: policy})
+		res, err := Run(context.Background(), Instance{G: g}, Options{Epsilon: eps, Seed: 2, Init: policy})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -198,7 +200,7 @@ func TestActiveSubsetRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	active := []bool{true, true, true, false}
-	res, err := Run(Instance{G: g, Active: active}, defaultOpts())
+	res, err := Run(context.Background(), Instance{G: g, Active: active}, defaultOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +227,7 @@ func TestResidualWeights(t *testing.T) {
 	}
 	// Residual weights much smaller than graph weights: duals must respect
 	// the residual, not the original.
-	res, err := Run(Instance{G: g, Weights: []float64{1, 2}}, defaultOpts())
+	res, err := Run(context.Background(), Instance{G: g, Weights: []float64{1, 2}}, defaultOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +244,7 @@ func TestExplicitX0(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(Instance{G: g, X0: []float64{0.25, 0.25}}, defaultOpts())
+	res, err := Run(context.Background(), Instance{G: g, X0: []float64{0.25, 0.25}}, defaultOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,33 +252,33 @@ func TestExplicitX0(t *testing.T) {
 		t.Fatal("not a cover")
 	}
 	// Infeasible X0 must be rejected.
-	if _, err := Run(Instance{G: g, X0: []float64{0.9, 0.9}}, defaultOpts()); err == nil {
+	if _, err := Run(context.Background(), Instance{G: g, X0: []float64{0.9, 0.9}}, defaultOpts()); err == nil {
 		t.Fatal("infeasible X0 accepted")
 	}
 	// Non-positive X0 on an active edge must be rejected.
-	if _, err := Run(Instance{G: g, X0: []float64{0, 0.1}}, defaultOpts()); err == nil {
+	if _, err := Run(context.Background(), Instance{G: g, X0: []float64{0, 0.1}}, defaultOpts()); err == nil {
 		t.Fatal("zero X0 accepted")
 	}
 }
 
 func TestOptionValidation(t *testing.T) {
 	g, _ := graph.FromEdgeList(2, [][2]graph.Vertex{{0, 1}}, nil)
-	if _, err := Run(Instance{G: g}, Options{Epsilon: 0}); err == nil {
+	if _, err := Run(context.Background(), Instance{G: g}, Options{Epsilon: 0}); err == nil {
 		t.Fatal("epsilon 0 accepted")
 	}
-	if _, err := Run(Instance{G: g}, Options{Epsilon: 0.5}); err == nil {
+	if _, err := Run(context.Background(), Instance{G: g}, Options{Epsilon: 0.5}); err == nil {
 		t.Fatal("epsilon 0.5 accepted")
 	}
-	if _, err := Run(Instance{G: nil}, defaultOpts()); err == nil {
+	if _, err := Run(context.Background(), Instance{G: nil}, defaultOpts()); err == nil {
 		t.Fatal("nil graph accepted")
 	}
-	if _, err := Run(Instance{G: g, Active: []bool{true}}, defaultOpts()); err == nil {
+	if _, err := Run(context.Background(), Instance{G: g, Active: []bool{true}}, defaultOpts()); err == nil {
 		t.Fatal("bad active length accepted")
 	}
-	if _, err := Run(Instance{G: g, Weights: []float64{1}}, defaultOpts()); err == nil {
+	if _, err := Run(context.Background(), Instance{G: g, Weights: []float64{1}}, defaultOpts()); err == nil {
 		t.Fatal("bad weights length accepted")
 	}
-	if _, err := Run(Instance{G: g, X0: []float64{1, 2, 3}}, defaultOpts()); err == nil {
+	if _, err := Run(context.Background(), Instance{G: g, X0: []float64{1, 2, 3}}, defaultOpts()); err == nil {
 		t.Fatal("bad X0 length accepted")
 	}
 }
@@ -321,7 +323,7 @@ func TestDeterminism(t *testing.T) {
 
 func TestFixedThresholdAblation(t *testing.T) {
 	g := gen.Gnp(5, 100, 0.1)
-	res, err := Run(Instance{G: g}, Options{Epsilon: 0.1, Threshold: FixedThreshold(0.1)})
+	res, err := Run(context.Background(), Instance{G: g}, Options{Epsilon: 0.1, Threshold: FixedThreshold(0.1)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +384,7 @@ func TestQuickCoverAndRatio(t *testing.T) {
 	f := func(seed uint64) bool {
 		n := 10 + int(seed%80)
 		g := gen.ApplyWeights(gen.Gnp(seed, n, 0.15), seed+1, gen.UniformRange{Lo: 0.5, Hi: 20})
-		res, err := Run(Instance{G: g}, Options{Epsilon: eps, Seed: seed + 2})
+		res, err := Run(context.Background(), Instance{G: g}, Options{Epsilon: eps, Seed: seed + 2})
 		if err != nil {
 			t.Logf("seed %d: %v", seed, err)
 			return false

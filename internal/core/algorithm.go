@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mpc"
 	"repro/internal/rng"
+	"repro/internal/solver"
 )
 
 // Message tags distinguishing record kinds within a round's payloads.
@@ -32,13 +34,18 @@ const (
 const noFreeze = -1
 
 // Run executes Algorithm 2 on g and returns the cover, the finalized dual
-// weights, and the per-phase measurements.
-func Run(g *graph.Graph, p Params) (*Result, error) {
+// weights, and the per-phase measurements. The context is checked between
+// phases, between cluster rounds, and inside the final centralized phase, so
+// a cancellation or deadline ends the solve promptly with ctx.Err().
+func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if g == nil {
 		return nil, errors.New("core: nil graph")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	n := g.NumVertices()
 	mEdges := g.NumEdges()
@@ -118,6 +125,32 @@ func Run(g *graph.Graph, p Params) (*Result, error) {
 		maxPhases = 64
 	}
 
+	// Observability: dualSum accumulates Σ x_e over finalized edges (the raw
+	// dual total that FeasibleDual later rescales into a certified bound);
+	// curPhase scopes round events to the running phase (-1 outside phases).
+	obs := p.Observer
+	dualSum := 0.0
+	curPhase := -1
+	// step executes one accounted cluster round with a context check before
+	// it and a KindRound event after it, so the number of round events equals
+	// Result.Rounds exactly.
+	step := func(fn mpc.StepFunc) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := cluster.Round(fn); err != nil {
+			return err
+		}
+		solver.Emit(obs, solver.Event{
+			Kind:        solver.KindRound,
+			Phase:       curPhase,
+			Round:       cluster.Metrics().Rounds,
+			ActiveEdges: nonfrozenEdges,
+			DualBound:   dualSum,
+		})
+		return nil
+	}
+
 	// Reused per-phase scratch.
 	high := make([]bool, n)
 	highIndex := make([]int32, n)
@@ -132,6 +165,10 @@ func Run(g *graph.Graph, p Params) (*Result, error) {
 	phase := 0
 	stalls := 0
 	for ; ; phase++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		curPhase = phase
 		d := 2 * float64(nonfrozenEdges) / float64(n)
 		if d <= p.SwitchThreshold(n) {
 			break
@@ -200,6 +237,16 @@ func Run(g *graph.Graph, p Params) (*Result, error) {
 		if iters < 1 {
 			iters = 1
 		}
+		solver.Emit(obs, solver.Event{
+			Kind:        solver.KindPhaseStart,
+			Phase:       phase,
+			Round:       cluster.Metrics().Rounds,
+			ActiveEdges: nonfrozenEdges,
+			DualBound:   dualSum,
+			Degree:      d,
+			Machines:    mMach,
+			Iterations:  iters,
+		})
 
 		// Line (2c): initial duals on E[V^high] (degree-aware, or the
 		// uniform-init ablation).
@@ -258,7 +305,7 @@ func Run(g *graph.Graph, p Params) (*Result, error) {
 		// shares the result with the fleet. The driver cross-checks the
 		// aggregated value against its own bookkeeping, so the simulated
 		// data path is load-bearing, not decorative.
-		err := cluster.Round(func(mach *mpc.Machine) error {
+		err := step(func(mach *mpc.Machine) error {
 			id := mach.ID()
 			cnt := uint64(0)
 			for e := id; e < mEdges; e += mTotal {
@@ -271,7 +318,7 @@ func Run(g *graph.Graph, p Params) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: phase %d degree aggregation: %w", phase, err)
 		}
-		err = cluster.Round(func(mach *mpc.Machine) error {
+		err = step(func(mach *mpc.Machine) error {
 			if mach.ID() != 0 {
 				return nil
 			}
@@ -300,7 +347,7 @@ func Run(g *graph.Graph, p Params) (*Result, error) {
 		// Round A (scatter): home machines verify the shared degree and
 		// route co-located induced edges and vertex records to the owning
 		// simulation machine.
-		err = cluster.Round(func(mach *mpc.Machine) error {
+		err = step(func(mach *mpc.Machine) error {
 			id := mach.ID()
 			sawScalar := false
 			for _, msg := range mach.Inbox() {
@@ -363,7 +410,7 @@ func Run(g *graph.Graph, p Params) (*Result, error) {
 		// the Lemma 4.1 constraint), runs Lines (2g i–iii), and routes the
 		// freeze results to each vertex's home machine.
 		localEdgeCount := make([]int64, mTotal)
-		err = cluster.Round(func(mach *mpc.Machine) error {
+		err = step(func(mach *mpc.Machine) error {
 			id := mach.ID()
 			inbox := mach.Inbox()
 			if id >= mMach {
@@ -442,7 +489,7 @@ func Run(g *graph.Graph, p Params) (*Result, error) {
 		for _, v := range highList {
 			freezeIterShared[v] = noFreeze
 		}
-		err = cluster.Round(func(mach *mpc.Machine) error {
+		err = step(func(mach *mpc.Machine) error {
 			for _, msg := range mach.Inbox() {
 				if len(msg.Data) == 0 || msg.Data[0] != tagResult {
 					return fmt.Errorf("core: machine %d: unexpected tag in collect round", mach.ID())
@@ -555,6 +602,7 @@ func Run(g *graph.Graph, p Params) (*Result, error) {
 				xFinal[e] = xPhase[e]
 				frozenIncident[u] += xPhase[e]
 				frozenIncident[v] += xPhase[e]
+				dualSum += xPhase[e]
 			}
 		}
 		for _, v := range newlyFrozen {
@@ -612,7 +660,18 @@ func Run(g *graph.Graph, p Params) (*Result, error) {
 			NewlyFrozenVertices: frozenAtSim + frozenAt2i,
 			FrozenAtLine2i:      frozenAt2i,
 		})
+		solver.Emit(obs, solver.Event{
+			Kind:        solver.KindPhaseEnd,
+			Phase:       phase,
+			Round:       cluster.Metrics().Rounds,
+			ActiveEdges: nonfrozenEdges,
+			DualBound:   dualSum,
+			Degree:      d,
+			Machines:    mMach,
+			Iterations:  iters,
+		})
 	}
+	curPhase = -1
 	res.Phases = phase
 
 	// Line (3): the residual instance moves to one machine (the gather is
@@ -642,7 +701,7 @@ func Run(g *graph.Graph, p Params) (*Result, error) {
 	}
 	res.FinalPhaseEdges = finalEdges
 	cluster.ResetResident()
-	err = cluster.Round(func(mach *mpc.Machine) error {
+	err = step(func(mach *mpc.Machine) error {
 		if mach.ID() == 0 {
 			return mach.Charge(finalEdges*mpc.EdgeRecordWords + int64(numActive)*mpc.VertexRecordWords)
 		}
@@ -666,7 +725,7 @@ func Run(g *graph.Graph, p Params) (*Result, error) {
 			return rng.UniformAt(p.Seed, lo, hi, labelThreshold, fp, uint64(v), uint64(t))
 		}
 	}
-	cres, err := centralized.Run(
+	cres, err := centralized.Run(ctx,
 		centralized.Instance{G: g, Active: active, Weights: wresAll},
 		centralized.Options{Epsilon: eps, Init: finalInit, Threshold: finalThreshold},
 	)
@@ -685,8 +744,16 @@ func Run(g *graph.Graph, p Params) (*Result, error) {
 		if !edgeFrozen[e] {
 			edgeFrozen[e] = true
 			xFinal[e] = cres.X[e]
+			dualSum += cres.X[e]
 		}
 	}
+	solver.Emit(obs, solver.Event{
+		Kind:       solver.KindFinalPhase,
+		Phase:      -1,
+		Round:      cluster.Metrics().Rounds,
+		DualBound:  dualSum,
+		Iterations: cres.Iterations,
+	})
 
 	res.ClusterMetrics = cluster.Metrics()
 	res.Rounds = res.ClusterMetrics.Rounds

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -35,7 +37,7 @@ func certify(t *testing.T, g *graph.Graph, res *Result, eps float64) *verify.Cer
 func TestRunSmallDense(t *testing.T) {
 	eps := 0.1
 	g := gen.ApplyWeights(gen.GnpAvgDegree(1, 2000, 64), 2, gen.UniformRange{Lo: 1, Hi: 100})
-	res, err := Run(g, ParamsPractical(eps, 7))
+	res, err := Run(context.Background(), g, ParamsPractical(eps, 7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +54,7 @@ func TestRunUnitWeights(t *testing.T) {
 	// Unit weights = the GGK+18 unweighted setting.
 	eps := 0.1
 	g := gen.GnpAvgDegree(3, 3000, 48)
-	res, err := Run(g, ParamsPractical(eps, 5))
+	res, err := Run(context.Background(), g, ParamsPractical(eps, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +64,7 @@ func TestRunUnitWeights(t *testing.T) {
 func TestRunHugeWeightRange(t *testing.T) {
 	eps := 0.1
 	g := gen.ApplyWeights(gen.GnpAvgDegree(4, 2000, 40), 9, gen.PowerLaw{MaxWeight: 1e9})
-	res, err := Run(g, ParamsPractical(eps, 11))
+	res, err := Run(context.Background(), g, ParamsPractical(eps, 11))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +74,7 @@ func TestRunHugeWeightRange(t *testing.T) {
 func TestRunPowerLawGraph(t *testing.T) {
 	eps := 0.1
 	g := gen.ApplyWeights(gen.PreferentialAttachment(6, 3000, 16), 3, gen.Exponential{Mean: 5})
-	res, err := Run(g, ParamsPractical(eps, 13))
+	res, err := Run(context.Background(), g, ParamsPractical(eps, 13))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +84,7 @@ func TestRunPowerLawGraph(t *testing.T) {
 func TestRunEmptyAndTiny(t *testing.T) {
 	p := ParamsPractical(0.1, 1)
 	empty := graph.NewBuilder(0).MustBuild()
-	res, err := Run(empty, p)
+	res, err := Run(context.Background(), empty, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +93,7 @@ func TestRunEmptyAndTiny(t *testing.T) {
 	}
 
 	isolated := graph.NewBuilder(5).MustBuild()
-	res, err = Run(isolated, p)
+	res, err = Run(context.Background(), isolated, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +104,7 @@ func TestRunEmptyAndTiny(t *testing.T) {
 	}
 
 	single, _ := graph.FromEdgeList(2, [][2]graph.Vertex{{0, 1}}, []float64{3, 5})
-	res, err = Run(single, p)
+	res, err = Run(context.Background(), single, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +119,7 @@ func TestRunParamsPaperDegenerates(t *testing.T) {
 	// this scale: zero sampled phases, everything solved centrally.
 	eps := 0.1
 	g := gen.GnpAvgDegree(2, 500, 32)
-	res, err := Run(g, ParamsPaper(eps, 3))
+	res, err := Run(context.Background(), g, ParamsPaper(eps, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,11 +132,11 @@ func TestRunParamsPaperDegenerates(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	g := gen.ApplyWeights(gen.GnpAvgDegree(5, 1500, 50), 1, gen.UniformRange{Lo: 1, Hi: 10})
 	p := ParamsPractical(0.1, 99)
-	a, err := Run(g, p)
+	a, err := Run(context.Background(), g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(g, p)
+	b, err := Run(context.Background(), g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +157,7 @@ func TestDeterminism(t *testing.T) {
 
 func TestPhaseStatsConsistency(t *testing.T) {
 	g := gen.GnpAvgDegree(8, 4000, 100)
-	res, err := Run(g, ParamsPractical(0.1, 21))
+	res, err := Run(context.Background(), g, ParamsPractical(0.1, 21))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +196,7 @@ func TestDegreeDecayBound(t *testing.T) {
 	// Lemma 4.4: after each phase, nonfrozen edges ≤ n·d·(1−ε)^I + n·d^γ
 	// (the two-term form its proof establishes; see PhaseStat.DecayBound).
 	g := gen.GnpAvgDegree(12, 4000, 128)
-	res, err := Run(g, ParamsPractical(0.1, 33))
+	res, err := Run(context.Background(), g, ParamsPractical(0.1, 33))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +215,7 @@ func TestMachineMemoryWithinBudget(t *testing.T) {
 	// exceeded S; here we also check the measured maximum explicitly.
 	g := gen.GnpAvgDegree(13, 2000, 80)
 	p := ParamsPractical(0.1, 17)
-	res, err := Run(g, p)
+	res, err := Run(context.Background(), g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +234,7 @@ func TestCoverTightness(t *testing.T) {
 	// Theorem 4.7's other half: cover vertices have Σx ≥ (1−16ε)·w(v).
 	eps := 0.1
 	g := gen.ApplyWeights(gen.GnpAvgDegree(14, 2000, 60), 4, gen.UniformRange{Lo: 1, Hi: 20})
-	res, err := Run(g, ParamsPractical(eps, 8))
+	res, err := Run(context.Background(), g, ParamsPractical(eps, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +268,7 @@ func TestValidateParams(t *testing.T) {
 			t.Errorf("case %d: invalid params accepted", i)
 		}
 	}
-	if _, err := Run(nil, good); err == nil {
+	if _, err := Run(context.Background(), nil, good); err == nil {
 		t.Error("nil graph accepted")
 	}
 }
@@ -289,7 +291,7 @@ func TestAblationsStillProduceCovers(t *testing.T) {
 	for name, mutate := range mutations {
 		p := ParamsPractical(eps, 31)
 		mutate(&p)
-		res, err := Run(g, p)
+		res, err := Run(context.Background(), g, p)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -314,7 +316,7 @@ func TestCouplingDeviationsWithinBound(t *testing.T) {
 	g := gen.ApplyWeights(gen.GnpAvgDegree(16, 3000, 80), 7, gen.UniformRange{Lo: 1, Hi: 10})
 	p := ParamsPractical(eps, 12)
 	p.CollectCoupling = true
-	res, err := Run(g, p)
+	res, err := Run(context.Background(), g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +356,7 @@ func TestCouplingDeviationsWithinBound(t *testing.T) {
 
 func TestFeasibleDualScaling(t *testing.T) {
 	g := gen.GnpAvgDegree(17, 800, 40)
-	res, err := Run(g, ParamsPractical(0.1, 2))
+	res, err := Run(context.Background(), g, ParamsPractical(0.1, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +379,7 @@ func TestMaxPhasesGuard(t *testing.T) {
 	p := ParamsPractical(0.1, 3)
 	p.MaxPhases = 1
 	// Either it finishes within 1 phase or errors cleanly — never loops.
-	res, err := Run(g, p)
+	res, err := Run(context.Background(), g, p)
 	if err == nil && res.Phases > 1 {
 		t.Fatalf("ran %d phases with MaxPhases=1", res.Phases)
 	}
@@ -390,7 +392,7 @@ func TestRoundsGrowSlowlyWithDegree(t *testing.T) {
 	p := ParamsPractical(0.1, 4)
 	phasesAt := func(d float64) int {
 		g := gen.GnpAvgDegree(19, 3000, d)
-		res, err := Run(g, p)
+		res, err := Run(context.Background(), g, p)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -77,7 +78,9 @@ func AnalyzeCoupling(cp CouplingPhase, p Params) (*CouplingReport, error) {
 		fixed := 1 - 3*eps
 		threshold = func(graph.Vertex, int) float64 { return fixed }
 	}
-	cres, err := centralized.Run(
+	// The replay is an offline analysis step, not a serving path; it runs
+	// uncancellable on a background context.
+	cres, err := centralized.Run(context.Background(),
 		centralized.Instance{G: localG, X0: x0},
 		centralized.Options{
 			Epsilon:     eps,

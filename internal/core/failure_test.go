@@ -5,6 +5,8 @@ package core
 // must clamp, not crash, on degenerate-but-legal configurations.
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -15,7 +17,7 @@ func TestFailureTinyMachineMemory(t *testing.T) {
 	g := gen.GnpAvgDegree(1, 500, 32)
 	p := ParamsPractical(0.1, 1)
 	p.MemoryWords = func(int) int64 { return 64 } // can hold ~5 edges
-	_, err := Run(g, p)
+	_, err := Run(context.Background(), g, p)
 	if err == nil {
 		t.Fatal("ran with 64 words of machine memory")
 	}
@@ -28,7 +30,7 @@ func TestFailureMemoryTooSmallForAnyEdge(t *testing.T) {
 	g := gen.GnpAvgDegree(1, 100, 16)
 	p := ParamsPractical(0.1, 1)
 	p.MemoryWords = func(int) int64 { return 4 }
-	if _, err := Run(g, p); err == nil {
+	if _, err := Run(context.Background(), g, p); err == nil {
 		t.Fatal("accepted a memory budget below one edge record")
 	}
 }
@@ -38,7 +40,7 @@ func TestClampsPathologicalParameterFunctions(t *testing.T) {
 	p := ParamsPractical(0.1, 2)
 	// Machine function returning nonsense values must be clamped, not obeyed.
 	p.NumMachines = func(float64) int { return 0 }
-	res, err := Run(g, p)
+	res, err := Run(context.Background(), g, p)
 	if err != nil {
 		t.Fatalf("zero machines not clamped: %v", err)
 	}
@@ -49,7 +51,7 @@ func TestClampsPathologicalParameterFunctions(t *testing.T) {
 	}
 	p2 := ParamsPractical(0.1, 2)
 	p2.PhaseIterations = func(int, float64) int { return -5 }
-	res, err = Run(g, p2)
+	res, err = Run(context.Background(), g, p2)
 	if err != nil {
 		t.Fatalf("negative iterations not clamped: %v", err)
 	}
@@ -65,7 +67,7 @@ func TestManyMachinesRequested(t *testing.T) {
 	g := gen.GnpAvgDegree(3, 800, 48)
 	p := ParamsPractical(0.1, 3)
 	p.NumMachines = func(float64) int { return 1 << 20 }
-	res, err := Run(g, p)
+	res, err := Run(context.Background(), g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +84,7 @@ func TestSwitchThresholdHuge(t *testing.T) {
 	g := gen.GnpAvgDegree(4, 400, 16)
 	p := ParamsPractical(0.1, 4)
 	p.SwitchThreshold = func(int) float64 { return 1e18 }
-	res, err := Run(g, p)
+	res, err := Run(context.Background(), g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +104,7 @@ func TestSwitchThresholdZeroStillTerminates(t *testing.T) {
 	p := ParamsPractical(0.1, 5)
 	p.SwitchThreshold = func(int) float64 { return 0 }
 	p.MaxPhases = 30
-	res, err := Run(g, p)
+	res, err := Run(context.Background(), g, p)
 	if err != nil {
 		// A clean non-convergence error is acceptable; hanging is not.
 		if !strings.Contains(err.Error(), "phases") {
@@ -126,7 +128,7 @@ func TestCouplingOnAblatedRuns(t *testing.T) {
 		p := ParamsPractical(0.1, 6)
 		p.CollectCoupling = true
 		mutate(&p)
-		res, err := Run(g, p)
+		res, err := Run(context.Background(), g, p)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -25,6 +25,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/solver"
 )
 
 // Params configures Algorithm 2. Use ParamsPractical or ParamsPaper and
@@ -71,6 +73,11 @@ type Params struct {
 	MaxPhases int
 	// Parallelism bounds concurrent machine execution (0 = GOMAXPROCS).
 	Parallelism int
+	// Observer, when non-nil, receives phase and round events as the
+	// algorithm executes (see internal/solver). The per-round event count
+	// matches Result.Rounds exactly: one KindRound per accounted cluster
+	// round, including the final gather.
+	Observer solver.Observer
 
 	// Ablation switches (experiment E10). All default off = paper behaviour.
 

@@ -7,6 +7,8 @@ package core
 // bookkeeping never goes negative.
 
 import (
+	"context"
+
 	"testing"
 	"testing/quick"
 
@@ -21,7 +23,7 @@ func TestQuickFullPipeline(t *testing.T) {
 		n := 50 + int(seed%400)
 		d := 4 + float64(seed%40)
 		g := gen.ApplyWeights(gen.GnpAvgDegree(seed, n, d), seed+1, gen.Exponential{Mean: 3})
-		res, err := Run(g, ParamsPractical(0.1, seed+2))
+		res, err := Run(context.Background(), g, ParamsPractical(0.1, seed+2))
 		if err != nil {
 			t.Logf("seed %d: %v", seed, err)
 			return false
@@ -58,7 +60,7 @@ func TestQuickResidualWeightsStayPositive(t *testing.T) {
 	f := func(seed uint64) bool {
 		n := 100 + int(seed%200)
 		g := gen.ApplyWeights(gen.GnpAvgDegree(seed+7, n, 24), seed+8, gen.UniformRange{Lo: 0.5, Hi: 50})
-		res, err := Run(g, ParamsPractical(0.1, seed+9))
+		res, err := Run(context.Background(), g, ParamsPractical(0.1, seed+9))
 		if err != nil {
 			t.Log(err)
 			return false
@@ -88,7 +90,7 @@ func TestQuickUnitWeightsMatchUnweightedSemantics(t *testing.T) {
 	f := func(seed uint64) bool {
 		n := 60 + int(seed%200)
 		g := gen.GnpAvgDegree(seed+11, n, 12)
-		res, err := Run(g, ParamsPractical(0.1, seed+12))
+		res, err := Run(context.Background(), g, ParamsPractical(0.1, seed+12))
 		if err != nil {
 			t.Log(err)
 			return false

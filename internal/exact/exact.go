@@ -6,6 +6,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -17,14 +18,20 @@ import (
 const MaxVertices = 64
 
 // Solve returns an optimal vertex cover and its weight. It errors when the
-// graph has more than MaxVertices vertices.
-func Solve(g *graph.Graph) ([]bool, float64, error) {
+// graph has more than MaxVertices vertices. The context is polled every few
+// thousand branch-and-bound nodes, so a cancellation or deadline aborts the
+// search promptly with ctx.Err().
+func Solve(ctx context.Context, g *graph.Graph) ([]bool, float64, error) {
 	n := g.NumVertices()
 	if n > MaxVertices {
 		return nil, 0, fmt.Errorf("exact: %d vertices exceed the %d-vertex solver limit", n, MaxVertices)
 	}
-	s := &solver{
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := &bb{
 		n:       n,
+		ctx:     ctx,
 		weights: g.Weights(),
 		adj:     make([]uint64, n),
 		best:    math.Inf(1),
@@ -39,6 +46,9 @@ func Solve(g *graph.Graph) ([]bool, float64, error) {
 		full = ^uint64(0) >> uint(64-n)
 	}
 	s.search(full, 0, 0)
+	if s.err != nil {
+		return nil, 0, s.err
+	}
 	cover := make([]bool, n)
 	for v := 0; v < n; v++ {
 		if s.bestSet&(1<<uint(v)) != 0 {
@@ -48,18 +58,33 @@ func Solve(g *graph.Graph) ([]bool, float64, error) {
 	return cover, s.best, nil
 }
 
-type solver struct {
+type bb struct {
 	n       int
+	ctx     context.Context
 	weights []float64
 	adj     []uint64
 	best    float64
 	bestSet uint64
+	// nodes counts explored search nodes; every 4096th node polls ctx. err
+	// latches the context error and unwinds the recursion.
+	nodes uint64
+	err   error
 }
 
 // search explores the subproblem where `active` vertices are undecided and
 // `chosen` (weight `acc`) is the cover so far. All edges with an endpoint
 // outside `active` are already covered.
-func (s *solver) search(active uint64, chosen uint64, acc float64) {
+func (s *bb) search(active uint64, chosen uint64, acc float64) {
+	if s.err != nil {
+		return
+	}
+	s.nodes++
+	if s.nodes&0xFFF == 0 {
+		if err := s.ctx.Err(); err != nil {
+			s.err = err
+			return
+		}
+	}
 	if acc >= s.best {
 		return
 	}
@@ -117,7 +142,7 @@ func (s *solver) search(active uint64, chosen uint64, acc float64) {
 // dualBound runs one Bar-Yehuda–Even pass over the active subgraph and
 // returns the resulting fractional-matching value — a valid lower bound on
 // the subproblem's optimum.
-func (s *solver) dualBound(active uint64) float64 {
+func (s *bb) dualBound(active uint64) float64 {
 	residual := make([]float64, s.n)
 	rest := active
 	for rest != 0 {

@@ -1,6 +1,8 @@
 package exact
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -15,7 +17,7 @@ func TestSolveTriangle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cover, w, err := Solve(g)
+	cover, w, err := Solve(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +41,7 @@ func TestSolveStar(t *testing.T) {
 		b.AddEdge(0, graph.Vertex(v))
 	}
 	g := b.MustBuild()
-	cover, w, err := Solve(g)
+	cover, w, err := Solve(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +56,7 @@ func TestSolveStar(t *testing.T) {
 		b2.AddEdge(0, graph.Vertex(v))
 	}
 	g2 := b2.MustBuild()
-	_, w2, err := Solve(g2)
+	_, w2, err := Solve(context.Background(), g2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +67,7 @@ func TestSolveStar(t *testing.T) {
 
 func TestSolveEdgeless(t *testing.T) {
 	g := graph.NewBuilder(7).MustBuild()
-	cover, w, err := Solve(g)
+	cover, w, err := Solve(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +97,7 @@ func TestSolveMatchesBruteForce(t *testing.T) {
 			}
 		}
 		g := b.MustBuild()
-		cBB, wBB, err := Solve(g)
+		cBB, wBB, err := Solve(context.Background(), g)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -115,7 +117,7 @@ func TestSolveMatchesBruteForce(t *testing.T) {
 func TestSolveCliqueAndBipartite(t *testing.T) {
 	// Unit clique K_n: OPT = n-1.
 	g := gen.Clique(8)
-	_, w, err := Solve(g)
+	_, w, err := Solve(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +126,7 @@ func TestSolveCliqueAndBipartite(t *testing.T) {
 	}
 	// Unit K_{a,b}: OPT = min(a, b).
 	kb := gen.CompleteBipartite(3, 5)
-	_, w, err = Solve(kb)
+	_, w, err = Solve(context.Background(), kb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +138,7 @@ func TestSolveCliqueAndBipartite(t *testing.T) {
 func TestSolveMediumRandom(t *testing.T) {
 	// n=40 exercises the bound pruning; validity + dual sandwich check.
 	g := gen.ApplyWeights(gen.Gnp(9, 40, 0.15), 3, gen.UniformRange{Lo: 1, Hi: 5})
-	cover, w, err := Solve(g)
+	cover, w, err := Solve(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +152,7 @@ func TestSolveMediumRandom(t *testing.T) {
 
 func TestSolveRejectsTooLarge(t *testing.T) {
 	g := graph.NewBuilder(65).MustBuild()
-	if _, _, err := Solve(g); err == nil {
+	if _, _, err := Solve(context.Background(), g); err == nil {
 		t.Fatal("65-vertex instance accepted")
 	}
 	big := graph.NewBuilder(25).MustBuild()
@@ -166,7 +168,7 @@ func TestSolveAtBitBoundary(t *testing.T) {
 		b.AddEdge(graph.Vertex(2*i), graph.Vertex(2*i+1))
 	}
 	g := b.MustBuild()
-	_, w, err := Solve(g)
+	_, w, err := Solve(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}

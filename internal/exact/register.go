@@ -1,0 +1,24 @@
+package exact
+
+import (
+	"context"
+
+	"repro/internal/graph"
+	"repro/internal/solver"
+)
+
+func init() {
+	solver.Register(solver.Meta{
+		Name:    "exact",
+		Rank:    70,
+		Summary: "optimal branch-and-bound (n ≤ 64 only)",
+	}, solver.Func(solve))
+}
+
+func solve(ctx context.Context, g *graph.Graph, cfg solver.Config) (*solver.Outcome, error) {
+	cover, _, err := Solve(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	return &solver.Outcome{Cover: cover, Exact: true}, nil
+}

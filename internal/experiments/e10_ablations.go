@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/stats"
@@ -38,7 +40,7 @@ func runE10(cfg Config) ([]Renderable, error) {
 	for _, v := range variants {
 		params := core.ParamsPractical(eps, cfg.Seed+35)
 		v.mutate(&params)
-		res, err := core.Run(g, params)
+		res, err := core.Run(context.Background(), g, params)
 		if err != nil {
 			// An ablation failing *is* a result: the uniform-init variant
 			// stalls (duals reset every phase, so no vertex ever reaches a

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"time"
 
 	"repro/internal/baselines"
@@ -36,7 +38,7 @@ func runE12(cfg Config) ([]Renderable, error) {
 		g := gen.ApplyWeights(gen.GnpAvgDegree(cfg.Seed+uint64(s.n), s.n, s.d), cfg.Seed+36, gen.UniformRange{Lo: 1, Hi: 50})
 
 		start := time.Now()
-		res, err := core.Run(g, core.ParamsPractical(0.1, cfg.Seed+37))
+		res, err := core.Run(context.Background(), g, core.ParamsPractical(0.1, cfg.Seed+37))
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,10 @@
 package experiments
 
 import (
+	"repro/internal/solver"
+
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/ggk"
@@ -32,7 +36,7 @@ func runE13(cfg Config) ([]Renderable, error) {
 	for _, p := range pts {
 		g := gen.GnpAvgDegree(cfg.Seed+uint64(p.n)+41, p.n, p.d)
 
-		res, err := core.Run(g, core.ParamsPractical(0.1, cfg.Seed+42))
+		res, err := core.Run(context.Background(), g, core.ParamsPractical(0.1, cfg.Seed+42))
 		if err != nil {
 			return nil, err
 		}
@@ -42,7 +46,7 @@ func runE13(cfg Config) ([]Renderable, error) {
 			return nil, err
 		}
 
-		gres, err := ggk.Run(g, 0.1, cfg.Seed+44)
+		gres, err := ggk.Run(context.Background(), g, solver.Config{Epsilon: 0.1, Seed: cfg.Seed + 44})
 		if err != nil {
 			return nil, err
 		}

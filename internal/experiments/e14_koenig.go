@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/baselines"
 	"repro/internal/bipartite"
 	"repro/internal/core"
@@ -35,7 +37,7 @@ func runE14(cfg Config) ([]Renderable, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Run(g, core.ParamsPractical(0.1, cfg.Seed+52))
+		res, err := core.Run(context.Background(), g, core.ParamsPractical(0.1, cfg.Seed+52))
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/stats"
@@ -28,8 +30,17 @@ func runE1(cfg Config) ([]Renderable, error) {
 	var logxs []float64
 	for _, d := range degrees {
 		g := gen.ApplyWeights(gen.GnpAvgDegree(cfg.Seed+uint64(d), n, d), cfg.Seed+1, gen.UniformRange{Lo: 1, Hi: 100})
-		res, err := core.Run(g, core.ParamsPractical(0.1, cfg.Seed+2))
+		// The round/phase trajectory is measured through the observer event
+		// stream (the API a production consumer would watch), cross-checked
+		// against the result's own accounting.
+		var tr roundTrace
+		params := core.ParamsPractical(0.1, cfg.Seed+2)
+		params.Observer = tr.observer()
+		res, err := core.Run(context.Background(), g, params)
 		if err != nil {
+			return nil, err
+		}
+		if err := tr.check(res); err != nil {
 			return nil, err
 		}
 		ratio, err := certifiedRatio(g, res)
@@ -37,10 +48,10 @@ func runE1(cfg Config) ([]Renderable, error) {
 			return nil, err
 		}
 		ll := stats.LogLog(d)
-		tb.AddRow(d, ll, res.Phases, res.Rounds, res.FinalPhaseIterations, ratio)
+		tb.AddRow(d, ll, tr.Phases, tr.Rounds, tr.FinalIters, ratio)
 		xs = append(xs, ll)
 		logxs = append(logxs, log2(d))
-		ys = append(ys, float64(res.Phases))
+		ys = append(ys, float64(tr.Phases))
 	}
 	// With the practical iteration count (I ∝ 0.5·log m) a single phase
 	// already collapses the graph, so the phase count is flat in d —
@@ -64,8 +75,13 @@ func runE1(cfg Config) ([]Renderable, error) {
 			}
 			return i
 		}
-		res, err := core.Run(g, params)
+		var tr roundTrace
+		params.Observer = tr.observer()
+		res, err := core.Run(context.Background(), g, params)
 		if err != nil {
+			return nil, err
+		}
+		if err := tr.check(res); err != nil {
 			return nil, err
 		}
 		ratio, err := certifiedRatio(g, res)
@@ -73,10 +89,10 @@ func runE1(cfg Config) ([]Renderable, error) {
 			return nil, err
 		}
 		ll := stats.LogLog(d)
-		tb2.AddRow(d, ll, res.Phases, res.Rounds, ratio)
+		tb2.AddRow(d, ll, tr.Phases, tr.Rounds, ratio)
 		xs2 = append(xs2, ll)
 		logxs2 = append(logxs2, log2(d))
-		ys2 = append(ys2, float64(res.Phases))
+		ys2 = append(ys2, float64(tr.Phases))
 	}
 
 	fit := stats.NewTable("E1 fits: phases as a function of degree",

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/gen"
@@ -46,7 +48,7 @@ func runE2(cfg Config) ([]Renderable, error) {
 		for _, model := range models {
 			for _, eps := range epsilons {
 				g := gen.ApplyWeights(fam.build(cfg.Seed+3), cfg.Seed+4, model)
-				res, err := core.Run(g, core.ParamsPractical(eps, cfg.Seed+5))
+				res, err := core.Run(context.Background(), g, core.ParamsPractical(eps, cfg.Seed+5))
 				if err != nil {
 					return nil, err
 				}
@@ -72,11 +74,11 @@ func runE2(cfg Config) ([]Renderable, error) {
 	for trial := 0; trial < trials; trial++ {
 		seed := cfg.Seed + uint64(trial)*101
 		g := gen.ApplyWeights(gen.Gnp(seed, smallN, 0.2), seed+1, gen.UniformRange{Lo: 1, Hi: 10})
-		res, err := core.Run(g, core.ParamsPractical(0.1, seed+2))
+		res, err := core.Run(context.Background(), g, core.ParamsPractical(0.1, seed+2))
 		if err != nil {
 			return nil, err
 		}
-		_, opt, err := exact.Solve(g)
+		_, opt, err := exact.Solve(context.Background(), g)
 		if err != nil {
 			return nil, err
 		}

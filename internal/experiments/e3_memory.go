@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/stats"
@@ -32,7 +34,7 @@ func runE3(cfg Config) ([]Renderable, error) {
 	for _, p := range pts {
 		g := gen.GnpAvgDegree(cfg.Seed+uint64(p.n+p.d), p.n, float64(p.d))
 		params := core.ParamsPractical(0.1, cfg.Seed+6)
-		res, err := core.Run(g, params)
+		res, err := core.Run(context.Background(), g, params)
 		if err != nil {
 			return nil, err
 		}
@@ -56,7 +58,7 @@ func runE11(cfg Config) ([]Renderable, error) {
 		"d0", "phase", "machines", "sum|E[Vi]|", "sqrt(d)*n", "|E|")
 	for _, d := range degrees {
 		g := gen.GnpAvgDegree(cfg.Seed+uint64(d)+77, n, d)
-		res, err := core.Run(g, core.ParamsPractical(0.1, cfg.Seed+7))
+		res, err := core.Run(context.Background(), g, core.ParamsPractical(0.1, cfg.Seed+7))
 		if err != nil {
 			return nil, err
 		}

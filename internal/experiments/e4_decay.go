@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/stats"
@@ -21,7 +23,7 @@ func runE4(cfg Config) ([]Renderable, error) {
 		n, d = 3000, 128.0
 	}
 	g := gen.ApplyWeights(gen.GnpAvgDegree(cfg.Seed+8, n, d), cfg.Seed+9, gen.UniformRange{Lo: 1, Hi: 10})
-	res, err := core.Run(g, core.ParamsPractical(0.1, cfg.Seed+10))
+	res, err := core.Run(context.Background(), g, core.ParamsPractical(0.1, cfg.Seed+10))
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/centralized"
 	"repro/internal/gen"
 	"repro/internal/stats"
@@ -34,7 +36,7 @@ func runE5(cfg Config) ([]Renderable, error) {
 				g = gen.ApplyWeights(base, cfg.Seed+12, gen.PowerLaw{MaxWeight: w})
 			}
 			run := func(init centralized.InitPolicy) (int, error) {
-				res, err := centralized.Run(
+				res, err := centralized.Run(context.Background(),
 					centralized.Instance{G: g},
 					centralized.Options{Epsilon: 0.1, Seed: cfg.Seed + 13, Init: init},
 				)

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/stats"
@@ -31,7 +33,7 @@ func runE6(cfg Config) ([]Renderable, error) {
 		g := gen.ApplyWeights(gen.GnpAvgDegree(cfg.Seed+uint64(p.n), p.n, p.d), cfg.Seed+14, gen.UniformRange{Lo: 1, Hi: 10})
 		params := core.ParamsPractical(eps, cfg.Seed+15)
 		params.CollectCoupling = true
-		res, err := core.Run(g, params)
+		res, err := core.Run(context.Background(), g, params)
 		if err != nil {
 			return nil, err
 		}
@@ -58,7 +60,7 @@ func runE6(cfg Config) ([]Renderable, error) {
 		params := core.ParamsPractical(eps, cfg.Seed+17)
 		params.CollectCoupling = true
 		params.DisableBias = disable
-		res, err := core.Run(g, params)
+		res, err := core.Run(context.Background(), g, params)
 		if err != nil {
 			return nil, err
 		}

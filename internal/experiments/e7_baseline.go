@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/baselines"
 	"repro/internal/centralized"
 	"repro/internal/core"
@@ -30,15 +32,15 @@ func runE7(cfg Config) ([]Renderable, error) {
 	var ds, mpcR, awareR, uniformR []float64
 	for _, d := range degrees {
 		g := gen.ApplyWeights(gen.GnpAvgDegree(cfg.Seed+uint64(d)+18, n, d), cfg.Seed+19, gen.PowerLaw{MaxWeight: 1e6})
-		res, err := core.Run(g, core.ParamsPractical(eps, cfg.Seed+20))
+		res, err := core.Run(context.Background(), g, core.ParamsPractical(eps, cfg.Seed+20))
 		if err != nil {
 			return nil, err
 		}
-		aware, err := baselines.LocalPrimalDual(g, eps, cfg.Seed+21, centralized.InitDegreeAware)
+		aware, err := baselines.LocalPrimalDual(context.Background(), g, eps, cfg.Seed+21, centralized.InitDegreeAware)
 		if err != nil {
 			return nil, err
 		}
-		uniform, err := baselines.LocalPrimalDual(g, eps, cfg.Seed+21, centralized.InitUniform)
+		uniform, err := baselines.LocalPrimalDual(context.Background(), g, eps, cfg.Seed+21, centralized.InitUniform)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/centralized"
 	"repro/internal/exact"
 	"repro/internal/gen"
@@ -37,7 +39,7 @@ func runE8(cfg Config) ([]Renderable, error) {
 	tb := stats.NewTable("E8: dual ≤ OPT ≤ cover ≤ (2+10ε)·dual",
 		"instance", "n", "m", "dual", "opt", "cover", "cover/opt", "cover/dual", "sandwich")
 	for _, in := range mk() {
-		res, err := centralized.Run(centralized.Instance{G: in.g}, centralized.Options{Epsilon: eps, Seed: cfg.Seed + 29})
+		res, err := centralized.Run(context.Background(), centralized.Instance{G: in.g}, centralized.Options{Epsilon: eps, Seed: cfg.Seed + 29})
 		if err != nil {
 			return nil, err
 		}
@@ -45,7 +47,7 @@ func runE8(cfg Config) ([]Renderable, error) {
 		if err != nil {
 			return nil, err
 		}
-		_, opt, err := exact.Solve(in.g)
+		_, opt, err := exact.Solve(context.Background(), in.g)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,10 @@
 package experiments
 
 import (
+	"repro/internal/solver"
+
+	"context"
+
 	"repro/internal/cclique"
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -29,7 +33,7 @@ func runE9(cfg Config) ([]Renderable, error) {
 		"n", "d", "cc_rounds", "cc_ratio", "mpc_rounds(=BDH18 cc bound x O(1))", "max_pair_words")
 	for _, s := range sizes {
 		g := gen.ApplyWeights(gen.GnpAvgDegree(cfg.Seed+uint64(s.n), s.n, s.d), cfg.Seed+30, gen.UniformRange{Lo: 1, Hi: 10})
-		cc, err := cclique.Run(g, 0.1, cfg.Seed+31)
+		cc, err := cclique.Run(context.Background(), g, solver.Config{Epsilon: 0.1, Seed: cfg.Seed + 31})
 		if err != nil {
 			return nil, err
 		}
@@ -37,7 +41,7 @@ func runE9(cfg Config) ([]Renderable, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Run(g, core.ParamsPractical(0.1, cfg.Seed+32))
+		res, err := core.Run(context.Background(), g, core.ParamsPractical(0.1, cfg.Seed+32))
 		if err != nil {
 			return nil, err
 		}

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/solver"
 	"repro/internal/verify"
 )
 
@@ -31,4 +33,39 @@ func certifiedRatio(g *graph.Graph, res *core.Result) (float64, error) {
 func alphaOf(g *graph.Graph, res *core.Result) float64 {
 	_, alpha := res.FeasibleDual(g)
 	return alpha
+}
+
+// roundTrace accumulates a solve's observer event stream — the round/phase
+// trajectory experiments tabulate. It replaces the pre-registry pattern of
+// digging the counts out of result structs after the fact: the experiments
+// now measure the same stream a production observer would see.
+type roundTrace struct {
+	Phases     int
+	Rounds     int
+	FinalIters int
+}
+
+// observer returns the solver.Observer that feeds the trace.
+func (tr *roundTrace) observer() solver.Observer {
+	return solver.ObserverFunc(func(e solver.Event) {
+		switch e.Kind {
+		case solver.KindPhaseStart:
+			tr.Phases++
+		case solver.KindRound:
+			tr.Rounds++
+		case solver.KindFinalPhase:
+			tr.FinalIters = e.Iterations
+		}
+	})
+}
+
+// check cross-validates the trace against the result's own accounting; a
+// mismatch means the observer pipeline drifted from the round accounting and
+// the experiment's numbers cannot be trusted.
+func (tr *roundTrace) check(res *core.Result) error {
+	if tr.Rounds != res.Rounds || tr.Phases != res.Phases || tr.FinalIters != res.FinalPhaseIterations {
+		return fmt.Errorf("observer trace (rounds=%d phases=%d final=%d) disagrees with result (rounds=%d phases=%d final=%d)",
+			tr.Rounds, tr.Phases, tr.FinalIters, res.Rounds, res.Phases, res.FinalPhaseIterations)
+	}
+	return nil
 }

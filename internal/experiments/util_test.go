@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"errors"
 	"testing"
 
@@ -31,7 +33,7 @@ func TestLastIndex(t *testing.T) {
 
 func TestCertifiedRatioHelpers(t *testing.T) {
 	g := gen.GnpAvgDegree(1, 300, 12)
-	res, err := core.Run(g, core.ParamsPractical(0.1, 1))
+	res, err := core.Run(context.Background(), g, core.ParamsPractical(0.1, 1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -29,12 +29,14 @@
 package ggk
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/solver"
 )
 
 // Result of a run.
@@ -55,9 +57,18 @@ type Result struct {
 
 // Run executes the unweighted round-compression algorithm. The graph must
 // have unit weights (the algorithm's analysis is degree-based).
-func Run(g *graph.Graph, epsilon float64, seed uint64) (*Result, error) {
+//
+// The context is checked between phases and between final-phase iterations;
+// cfg.Observer receives KindPhaseStart/KindPhaseEnd per sampled phase and one
+// KindFinalPhase event (round events are not emitted — rounds here are the
+// accounted 5-per-phase schedule, not individually executed steps).
+func Run(ctx context.Context, g *graph.Graph, cfg solver.Config) (*Result, error) {
+	epsilon, seed := cfg.Epsilon, cfg.Seed
 	if g == nil {
 		return nil, errors.New("ggk: nil graph")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if epsilon <= 0 || epsilon > 0.125 {
 		return nil, fmt.Errorf("ggk: epsilon %v out of (0, 0.125]", epsilon)
@@ -96,6 +107,8 @@ func Run(g *graph.Graph, epsilon float64, seed uint64) (*Result, error) {
 		return d
 	}
 	// Freeze v at global iteration t: finalize its active edges at x_t.
+	// dualSum tracks Σ x_e over finalized edges for observer events.
+	dualSum := 0.0
 	xAt := func(t int) float64 { return math.Pow(growth, float64(t)) / float64(n) }
 	freeze := func(v graph.Vertex, t int) {
 		frozen[v] = true
@@ -105,10 +118,20 @@ func Run(g *graph.Graph, epsilon float64, seed uint64) (*Result, error) {
 			}
 			edgeFrozen[e] = true
 			res.X[e] = xAt(t)
+			dualSum += res.X[e]
 			u := g.Other(e, v)
 			activeDeg[u]--
 			activeDeg[v]--
 		}
+	}
+	activeEdgeCount := func() int64 {
+		c := int64(0)
+		for e := 0; e < m; e++ {
+			if !edgeFrozen[e] {
+				c++
+			}
+		}
+		return c
 	}
 
 	switchAt := math.Max(8, 2*math.Log2(math.Max(2, float64(n))))
@@ -116,6 +139,9 @@ func Run(g *graph.Graph, epsilon float64, seed uint64) (*Result, error) {
 	phase := 0
 	maxPhases := 64
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		delta := maxDeg()
 		if float64(delta) <= switchAt {
 			break
@@ -130,6 +156,18 @@ func Run(g *graph.Graph, epsilon float64, seed uint64) (*Result, error) {
 		iters := int(math.Floor(0.5 * math.Log(float64(mMach)) / math.Log(growth)))
 		if iters < 2 {
 			iters = 2
+		}
+		// Guarded so the O(m) active-edge scan only runs for an observer.
+		if cfg.Observer != nil {
+			cfg.Observer.OnEvent(solver.Event{
+				Kind:        solver.KindPhaseStart,
+				Phase:       phase,
+				ActiveEdges: activeEdgeCount(),
+				DualBound:   dualSum,
+				Degree:      float64(delta),
+				Machines:    mMach,
+				Iterations:  iters,
+			})
 		}
 
 		// Partition the nonfrozen vertices; each machine simulates `iters`
@@ -216,6 +254,17 @@ func Run(g *graph.Graph, epsilon float64, seed uint64) (*Result, error) {
 			}
 		}
 		t = tEnd
+		if cfg.Observer != nil {
+			cfg.Observer.OnEvent(solver.Event{
+				Kind:        solver.KindPhaseEnd,
+				Phase:       phase,
+				ActiveEdges: activeEdgeCount(),
+				DualBound:   dualSum,
+				Degree:      float64(delta),
+				Machines:    mMach,
+				Iterations:  iters,
+			})
+		}
 		phase++
 	}
 	res.Phases = phase
@@ -231,6 +280,9 @@ func Run(g *graph.Graph, epsilon float64, seed uint64) (*Result, error) {
 	}
 	maxT := t + 10 + int(math.Ceil(math.Log(float64(n))/math.Log(growth)))
 	for remaining > 0 && t < maxT {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		x := xAt(t)
 		var toFreeze []graph.Vertex
 		for v := 0; v < n; v++ {
@@ -259,6 +311,13 @@ func Run(g *graph.Graph, epsilon float64, seed uint64) (*Result, error) {
 		return nil, fmt.Errorf("ggk: %d active edges after %d global iterations", remaining, t)
 	}
 	res.GlobalIterations = t
+	solver.Emit(cfg.Observer, solver.Event{
+		Kind:       solver.KindFinalPhase,
+		Phase:      -1,
+		Round:      res.Rounds,
+		DualBound:  dualSum,
+		Iterations: t,
+	})
 
 	// Dual violation factor (unit weights: α = max incident sum).
 	incident := make([]float64, n)

@@ -1,6 +1,10 @@
 package ggk
 
 import (
+	"repro/internal/solver"
+
+	"context"
+
 	"testing"
 
 	"repro/internal/bipartite"
@@ -11,7 +15,7 @@ import (
 
 func TestRunCertifiedCover(t *testing.T) {
 	g := gen.GnpAvgDegree(3, 3000, 64)
-	res, err := Run(g, 0.1, 5)
+	res, err := Run(context.Background(), g, solver.Config{Epsilon: 0.1, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,19 +36,19 @@ func TestRunCertifiedCover(t *testing.T) {
 
 func TestRunRejectsWeights(t *testing.T) {
 	g := gen.ApplyWeights(gen.Gnp(1, 20, 0.2), 2, gen.UniformRange{Lo: 1, Hi: 2})
-	if _, err := Run(g, 0.1, 1); err == nil {
+	if _, err := Run(context.Background(), g, solver.Config{Epsilon: 0.1, Seed: 1}); err == nil {
 		t.Fatal("weighted graph accepted")
 	}
-	if _, err := Run(nil, 0.1, 1); err == nil {
+	if _, err := Run(context.Background(), nil, solver.Config{Epsilon: 0.1, Seed: 1}); err == nil {
 		t.Fatal("nil graph accepted")
 	}
-	if _, err := Run(gen.Path(4), 0.5, 1); err == nil {
+	if _, err := Run(context.Background(), gen.Path(4), solver.Config{Epsilon: 0.5, Seed: 1}); err == nil {
 		t.Fatal("bad epsilon accepted")
 	}
 }
 
 func TestRunDegenerate(t *testing.T) {
-	res, err := Run(graph.NewBuilder(5).MustBuild(), 0.1, 1)
+	res, err := Run(context.Background(), graph.NewBuilder(5).MustBuild(), solver.Config{Epsilon: 0.1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +57,7 @@ func TestRunDegenerate(t *testing.T) {
 			t.Fatal("edgeless vertex covered")
 		}
 	}
-	empty, err := Run(graph.NewBuilder(0).MustBuild(), 0.1, 1)
+	empty, err := Run(context.Background(), graph.NewBuilder(0).MustBuild(), solver.Config{Epsilon: 0.1, Seed: 1})
 	if err != nil || len(empty.Cover) != 0 {
 		t.Fatal("empty graph mishandled")
 	}
@@ -61,7 +65,7 @@ func TestRunDegenerate(t *testing.T) {
 
 func TestRunSparseSkipsPhases(t *testing.T) {
 	g := gen.GnpAvgDegree(7, 2000, 4)
-	res, err := Run(g, 0.1, 9)
+	res, err := Run(context.Background(), g, solver.Config{Epsilon: 0.1, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,11 +79,11 @@ func TestRunSparseSkipsPhases(t *testing.T) {
 
 func TestRunDeterministic(t *testing.T) {
 	g := gen.GnpAvgDegree(11, 1000, 48)
-	a, err := Run(g, 0.1, 42)
+	a, err := Run(context.Background(), g, solver.Config{Epsilon: 0.1, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(g, 0.1, 42)
+	b, err := Run(context.Background(), g, solver.Config{Epsilon: 0.1, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +101,7 @@ func TestRunTrueRatioOnBipartite(t *testing.T) {
 	// Exact OPT via König: the unweighted ancestor must land within its
 	// (2+O(ε)) guarantee in truth, not just certificate.
 	g := gen.RandomBipartite(13, 1500, 1500, 0.02)
-	res, err := Run(g, 0.1, 3)
+	res, err := Run(context.Background(), g, solver.Config{Epsilon: 0.1, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +120,7 @@ func TestRunTrueRatioOnBipartite(t *testing.T) {
 
 func TestPowerLawHeavyTail(t *testing.T) {
 	g := gen.PreferentialAttachment(17, 2000, 24)
-	res, err := Run(g, 0.1, 7)
+	res, err := Run(context.Background(), g, solver.Config{Epsilon: 0.1, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}

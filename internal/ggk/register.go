@@ -1,0 +1,29 @@
+package ggk
+
+import (
+	"context"
+
+	"repro/internal/graph"
+	"repro/internal/solver"
+)
+
+func init() {
+	solver.Register(solver.Meta{
+		Name:    "ggk",
+		Rank:    60,
+		Summary: "unweighted GGK+18 round compression (unit-weight graphs only)",
+	}, solver.Func(solve))
+}
+
+func solve(ctx context.Context, g *graph.Graph, cfg solver.Config) (*solver.Outcome, error) {
+	res, err := Run(ctx, g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &solver.Outcome{
+		Cover:  res.Cover,
+		Duals:  res.FeasibleDual(),
+		Rounds: res.Rounds,
+		Phases: res.Phases,
+	}, nil
+}

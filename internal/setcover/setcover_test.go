@@ -1,6 +1,8 @@
 package setcover
 
 import (
+	"context"
+
 	"math"
 	"testing"
 	"testing/quick"
@@ -114,7 +116,7 @@ func TestFromGraphWithinTwiceOpt(t *testing.T) {
 			t.Log(err)
 			return false
 		}
-		_, opt, err := exact.Solve(g)
+		_, opt, err := exact.Solve(context.Background(), g)
 		if err != nil {
 			t.Log(err)
 			return false

@@ -1,0 +1,146 @@
+// Package solver defines the pluggable-solver contract shared by every
+// algorithm package in the repository and the registry the public facade
+// dispatches through.
+//
+// Each algorithm package (core, centralized, baselines, cclique, ggk, exact)
+// registers a named Solver from an init function in its register.go; the
+// facade (package mwvc), the CLI -algo flag, and the Algorithms() listing all
+// derive from the one registration table, so they cannot drift.
+//
+// The package sits below every algorithm package (it imports only
+// internal/graph), which is what lets the algorithm packages both implement
+// the interface and emit Observer events without import cycles.
+package solver
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Config carries the cross-algorithm solve parameters. Solvers ignore fields
+// that do not apply to them (e.g. Parallelism outside the MPC simulation).
+type Config struct {
+	// Epsilon is the accuracy parameter for the primal–dual algorithms; the
+	// facade defaults it to 0.1.
+	Epsilon float64
+	// Seed drives all randomness; same seed ⇒ same output.
+	Seed uint64
+	// Parallelism bounds concurrent simulated machines (0 = GOMAXPROCS).
+	Parallelism int
+	// PaperConstants selects the literal asymptotic constants of the paper
+	// for the MPC algorithm (core.ParamsPaper); default is the practical
+	// scaling.
+	PaperConstants bool
+	// Observer, when non-nil, receives solve-progress events (see Event).
+	Observer Observer
+}
+
+// Outcome is what a Solver returns: the raw cover plus whatever certificate
+// and round accounting the algorithm produces. The facade verifies the cover
+// and turns the duals into a checked certificate.
+type Outcome struct {
+	// Cover marks the chosen vertices.
+	Cover []bool
+	// Duals is a feasible fractional matching certifying the cover weight
+	// against OPT by weak LP duality, or nil when the algorithm provides no
+	// certificate (greedy).
+	Duals []float64
+	// Rounds counts communication rounds for the distributed algorithms;
+	// 0 for sequential ones.
+	Rounds int
+	// Phases counts sampled MPC phases (round-compression algorithms only).
+	Phases int
+	// Exact reports that the cover weight is the true optimum.
+	Exact bool
+}
+
+// Solver is one registered algorithm.
+type Solver interface {
+	Solve(ctx context.Context, g *graph.Graph, cfg Config) (*Outcome, error)
+}
+
+// Func adapts an ordinary function to the Solver interface.
+type Func func(ctx context.Context, g *graph.Graph, cfg Config) (*Outcome, error)
+
+// Solve implements Solver.
+func (f Func) Solve(ctx context.Context, g *graph.Graph, cfg Config) (*Outcome, error) {
+	return f(ctx, g, cfg)
+}
+
+// Meta describes a registered solver for listings and CLI help text.
+type Meta struct {
+	// Name is the registry key and the -algo flag value (e.g. "mpc").
+	Name string
+	// Rank orders listings; ties break by name.
+	Rank int
+	// Summary is a one-line description for help text.
+	Summary string
+}
+
+// Registration pairs a solver with its metadata.
+type Registration struct {
+	Meta
+	Solver Solver
+}
+
+var (
+	mu       sync.RWMutex
+	registry = map[string]Registration{}
+)
+
+// Register adds a solver under meta.Name. It panics on an empty name, a nil
+// solver, or a duplicate registration — all programmer errors in an init
+// function, never runtime conditions.
+func Register(meta Meta, s Solver) {
+	if meta.Name == "" {
+		panic("solver: Register with empty name")
+	}
+	if s == nil {
+		panic(fmt.Sprintf("solver: Register(%q) with nil solver", meta.Name))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := registry[meta.Name]; dup {
+		panic(fmt.Sprintf("solver: duplicate registration of %q", meta.Name))
+	}
+	registry[meta.Name] = Registration{Meta: meta, Solver: s}
+}
+
+// Lookup returns the registration for name.
+func Lookup(name string) (Registration, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	r, ok := registry[name]
+	return r, ok
+}
+
+// Registrations returns every registration ordered by (Rank, Name).
+func Registrations() []Registration {
+	mu.RLock()
+	out := make([]Registration, 0, len(registry))
+	for _, r := range registry {
+		out = append(out, r)
+	}
+	mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Names returns the registered solver names ordered by (Rank, Name).
+func Names() []string {
+	regs := Registrations()
+	names := make([]string, len(regs))
+	for i, r := range regs {
+		names[i] = r.Name
+	}
+	return names
+}

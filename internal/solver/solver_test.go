@@ -1,0 +1,77 @@
+package solver
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func noop(ctx context.Context, g *graph.Graph, cfg Config) (*Outcome, error) {
+	return &Outcome{Cover: make([]bool, g.NumVertices())}, nil
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestRegisterRejectsBadRegistrations(t *testing.T) {
+	mustPanic(t, "empty name", func() { Register(Meta{}, Func(noop)) })
+	mustPanic(t, "nil solver", func() { Register(Meta{Name: "test-nil"}, nil) })
+
+	Register(Meta{Name: "test-dup", Rank: 1000}, Func(noop))
+	mustPanic(t, "duplicate name", func() { Register(Meta{Name: "test-dup"}, Func(noop)) })
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, ok := Lookup("no-such-solver"); ok {
+		t.Fatal("Lookup accepted an unknown name")
+	}
+}
+
+func TestRegistrationsOrdered(t *testing.T) {
+	Register(Meta{Name: "test-z", Rank: 2000}, Func(noop))
+	Register(Meta{Name: "test-a", Rank: 2001}, Func(noop))
+	regs := Registrations()
+	for i := 1; i < len(regs); i++ {
+		a, b := regs[i-1], regs[i]
+		if a.Rank > b.Rank || (a.Rank == b.Rank && a.Name > b.Name) {
+			t.Fatalf("registrations out of order: %q(rank %d) before %q(rank %d)",
+				a.Name, a.Rank, b.Name, b.Rank)
+		}
+	}
+	if got, want := len(Names()), len(regs); got != want {
+		t.Fatalf("Names() returned %d entries, Registrations() %d", got, want)
+	}
+}
+
+func TestMultiObserverAndEmit(t *testing.T) {
+	var a, b int
+	obs := MultiObserver(
+		ObserverFunc(func(Event) { a++ }),
+		nil,
+		ObserverFunc(func(Event) { b++ }),
+	)
+	Emit(obs, Event{Kind: KindRound})
+	Emit(nil, Event{Kind: KindRound}) // must not panic
+	if a != 1 || b != 1 {
+		t.Fatalf("fan-out counts a=%d b=%d, want 1/1", a, b)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for _, k := range []EventKind{KindPhaseStart, KindRound, KindPhaseEnd, KindFinalPhase} {
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", int(k))
+		}
+	}
+	if EventKind(99).String() != "unknown" {
+		t.Fatal("out-of-range kind should stringify as unknown")
+	}
+}

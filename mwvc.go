@@ -5,31 +5,45 @@
 // O(log log d) rounds, d being the average degree.
 //
 // This package is the public facade. It re-exports the graph type and
-// offers one-call solvers for every algorithm in the repository:
+// dispatches one-call solves through the solver registry:
 //
 //	g := mwvc.RandomGraph(seed, n, avgDegree)
-//	sol, err := mwvc.Solve(g, mwvc.Options{Algorithm: mwvc.AlgoMPC, Epsilon: 0.1})
+//	sol, err := mwvc.Solve(ctx, g, mwvc.WithAlgorithm(mwvc.AlgoMPC), mwvc.WithEpsilon(0.1))
 //	fmt.Println(sol.Weight, sol.CertifiedRatio, sol.Rounds)
 //
-// The heavy lifting lives in the internal packages (internal/core for the
-// paper's Algorithm 2, internal/centralized for Algorithm 1, internal/mpc
-// for the cluster substrate); see DESIGN.md for the full inventory.
+// Solves are cancellable and deadline-bounded through the context, and
+// observable round-by-round through WithObserver — the O(log log d) round
+// trajectory the paper is about is exposed as a first-class event stream, not
+// just two ints after the fact.
+//
+// Every algorithm registers itself with internal/solver from its own
+// package; the Algorithms list, the Solve dispatch, and the CLI -algo flag
+// all derive from that one table. The heavy lifting lives in the internal
+// packages (internal/core for the paper's Algorithm 2, internal/centralized
+// for Algorithm 1, internal/mpc for the cluster substrate); see DESIGN.md
+// for the full inventory.
 package mwvc
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
+	"strings"
 
-	"repro/internal/baselines"
-	"repro/internal/cclique"
-	"repro/internal/centralized"
-	"repro/internal/core"
-	"repro/internal/exact"
 	"repro/internal/gen"
-	"repro/internal/ggk"
 	"repro/internal/graph"
+	"repro/internal/solver"
 	"repro/internal/verify"
+
+	// Each algorithm package registers its solvers from an init function;
+	// the facade imports them for that side effect.
+	_ "repro/internal/baselines"
+	_ "repro/internal/cclique"
+	_ "repro/internal/centralized"
+	_ "repro/internal/core"
+	_ "repro/internal/exact"
+	_ "repro/internal/ggk"
 )
 
 // Graph is the weighted undirected graph type shared by all algorithms.
@@ -57,9 +71,11 @@ func RandomGraph(seed uint64, n int, avgDegree float64) *Graph {
 	return gen.GnpAvgDegree(seed, n, avgDegree)
 }
 
-// Algorithm selects a solver.
+// Algorithm names a registered solver.
 type Algorithm string
 
+// The built-in algorithms. The constants are conveniences; the authoritative
+// list is the registry (Algorithms).
 const (
 	// AlgoMPC is the paper's contribution: Algorithm 2, the O(log log d)-round
 	// MPC simulation (package internal/core).
@@ -84,29 +100,108 @@ const (
 	AlgoExact Algorithm = "exact"
 )
 
-// Algorithms lists every selectable algorithm.
+// Algorithms lists every registered algorithm in display order. The list is
+// derived from the solver registry, so it cannot drift from what Solve
+// accepts.
 func Algorithms() []Algorithm {
-	return []Algorithm{
-		AlgoMPC, AlgoCentralized, AlgoLocalUniform, AlgoBYE,
-		AlgoGreedy, AlgoCongestedClique, AlgoGGK, AlgoExact,
+	names := solver.Names()
+	out := make([]Algorithm, len(names))
+	for i, n := range names {
+		out[i] = Algorithm(n)
 	}
+	return out
 }
 
-// Options configures Solve.
-type Options struct {
-	// Algorithm defaults to AlgoMPC.
-	Algorithm Algorithm
-	// Epsilon is the accuracy parameter for the primal–dual algorithms;
-	// defaults to 0.1.
-	Epsilon float64
-	// Seed drives all randomness; same seed ⇒ same output.
-	Seed uint64
-	// PaperConstants selects the literal asymptotic constants of the paper
-	// for AlgoMPC (see internal/core.ParamsPaper); default is the practical
-	// scaling.
-	PaperConstants bool
-	// Parallelism bounds concurrent simulated machines (0 = GOMAXPROCS).
-	Parallelism int
+// AlgorithmSummary returns the registered one-line description of a, or ""
+// for an unknown algorithm.
+func AlgorithmSummary(a Algorithm) string {
+	reg, ok := solver.Lookup(string(a))
+	if !ok {
+		return ""
+	}
+	return reg.Summary
+}
+
+// AlgorithmHelp renders the registry as flag help text: every algorithm name
+// with its one-line summary, in display order.
+func AlgorithmHelp() string {
+	var b strings.Builder
+	for i, reg := range solver.Registrations() {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "  %-17s %s", reg.Name, reg.Summary)
+	}
+	return b.String()
+}
+
+// Observer receives solve-progress events; see Event for the stream
+// contract. Pass one with WithObserver.
+type Observer = solver.Observer
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc = solver.ObserverFunc
+
+// Event is one solve-progress observation: phase started, round completed,
+// phase completed, final phase done — with the active-edge count and the
+// running dual total at that point.
+type Event = solver.Event
+
+// EventKind tags an Event.
+type EventKind = solver.EventKind
+
+// Re-exported event kinds; see internal/solver for the per-kind contract.
+const (
+	KindPhaseStart = solver.KindPhaseStart
+	KindRound      = solver.KindRound
+	KindPhaseEnd   = solver.KindPhaseEnd
+	KindFinalPhase = solver.KindFinalPhase
+)
+
+// MultiObserver fans events out to several observers in order, skipping nils.
+func MultiObserver(obs ...Observer) Observer { return solver.MultiObserver(obs...) }
+
+// Option configures Solve. The zero configuration solves with AlgoMPC at
+// ε = 0.1, seed 0, GOMAXPROCS parallelism, practical constants, no observer.
+type Option func(*settings)
+
+type settings struct {
+	algo Algorithm
+	cfg  solver.Config
+}
+
+// WithAlgorithm selects the solver; default AlgoMPC.
+func WithAlgorithm(a Algorithm) Option {
+	return func(s *settings) { s.algo = a }
+}
+
+// WithEpsilon sets the accuracy parameter for the primal–dual algorithms
+// (certified ratio 2+O(ε)); default 0.1.
+func WithEpsilon(eps float64) Option {
+	return func(s *settings) { s.cfg.Epsilon = eps }
+}
+
+// WithSeed sets the seed driving all randomness; same seed ⇒ same output.
+func WithSeed(seed uint64) Option {
+	return func(s *settings) { s.cfg.Seed = seed }
+}
+
+// WithParallelism bounds concurrent simulated machines (0 = GOMAXPROCS).
+func WithParallelism(n int) Option {
+	return func(s *settings) { s.cfg.Parallelism = n }
+}
+
+// WithPaperConstants selects the literal asymptotic constants of the paper
+// for AlgoMPC (see internal/core.ParamsPaper); the default is the practical
+// scaling.
+func WithPaperConstants() Option {
+	return func(s *settings) { s.cfg.PaperConstants = true }
+}
+
+// WithObserver streams solve-progress events to obs. Observers are invoked
+// synchronously from the solve loop and must be fast.
+func WithObserver(obs Observer) Option {
+	return func(s *settings) { s.cfg.Observer = obs }
 }
 
 // Solution is the outcome of Solve, with a self-contained quality
@@ -119,103 +214,79 @@ type Solution struct {
 	// Bound is a certified lower bound on OPT (weak LP duality), or 0 when
 	// the algorithm provides no certificate (greedy).
 	Bound float64
-	// CertifiedRatio is Weight/Bound (+Inf if Bound is 0 and Weight > 0,
-	// 1 for the empty instance).
+	// CertifiedRatio is Weight/Bound. Convention for certificate-free
+	// results: +Inf when Bound is 0 and Weight > 0 ("no guarantee claimed"
+	// — deliberately not 0 or NaN so naive comparisons fail safe), and 1 for
+	// the empty instance (a zero-weight cover is trivially optimal). Use
+	// math.IsInf to detect the certificate-free case before formatting.
 	CertifiedRatio float64
 	// Rounds counts communication rounds for the distributed algorithms
 	// (MPC rounds for AlgoMPC, iterations for the LOCAL baselines,
 	// congested-clique rounds for AlgoCongestedClique); 0 for sequential
 	// algorithms.
 	Rounds int
-	// Phases counts the sampled MPC phases (AlgoMPC only).
+	// Phases counts the sampled MPC phases (AlgoMPC and AlgoGGK only).
 	Phases int
 	// Exact reports that Weight is the true optimum (AlgoExact only).
 	Exact bool
 }
 
-// Solve computes a vertex cover of g with the selected algorithm.
-func Solve(g *Graph, opts Options) (*Solution, error) {
+// Solve computes a vertex cover of g with the selected algorithm (default
+// AlgoMPC). The context cancels or deadline-bounds the solve: every iterative
+// solver loop checks it, and a pre-cancelled context returns ctx.Err()
+// without touching the graph.
+func Solve(ctx context.Context, g *Graph, opts ...Option) (*Solution, error) {
 	if g == nil {
 		return nil, fmt.Errorf("mwvc: nil graph")
 	}
-	if opts.Algorithm == "" {
-		opts.Algorithm = AlgoMPC
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	if opts.Epsilon == 0 {
-		opts.Epsilon = 0.1
+	s := settings{algo: AlgoMPC, cfg: solver.Config{Epsilon: 0.1}}
+	for _, opt := range opts {
+		opt(&s)
 	}
-	switch opts.Algorithm {
-	case AlgoMPC:
-		params := core.ParamsPractical(opts.Epsilon, opts.Seed)
-		if opts.PaperConstants {
-			params = core.ParamsPaper(opts.Epsilon, opts.Seed)
-		}
-		params.Parallelism = opts.Parallelism
-		res, err := core.Run(g, params)
-		if err != nil {
-			return nil, err
-		}
-		scaled, _ := res.FeasibleDual(g)
-		return finish(g, res.Cover, scaled, res.Rounds, res.Phases, false)
-	case AlgoCentralized, AlgoLocalUniform:
-		init := centralized.InitDegreeAware
-		if opts.Algorithm == AlgoLocalUniform {
-			init = centralized.InitUniform
-		}
-		sol, err := baselines.LocalPrimalDual(g, opts.Epsilon, opts.Seed, init)
-		if err != nil {
-			return nil, err
-		}
-		return finish(g, sol.Cover, sol.Duals, sol.Rounds, 0, false)
-	case AlgoBYE:
-		sol := baselines.BarYehudaEven(g)
-		return finish(g, sol.Cover, sol.Duals, 0, 0, false)
-	case AlgoGreedy:
-		sol := baselines.Greedy(g)
-		return finish(g, sol.Cover, nil, 0, 0, false)
-	case AlgoCongestedClique:
-		res, err := cclique.Run(g, opts.Epsilon, opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		return finish(g, res.Cover, res.X, res.Rounds, 0, false)
-	case AlgoGGK:
-		res, err := ggk.Run(g, opts.Epsilon, opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		return finish(g, res.Cover, res.FeasibleDual(), res.Rounds, res.Phases, false)
-	case AlgoExact:
-		cover, _, err := exact.Solve(g)
-		if err != nil {
-			return nil, err
-		}
-		return finish(g, cover, nil, 0, 0, true)
-	default:
-		return nil, fmt.Errorf("mwvc: unknown algorithm %q", opts.Algorithm)
+	if s.cfg.Epsilon == 0 {
+		s.cfg.Epsilon = 0.1
 	}
+	reg, ok := solver.Lookup(string(s.algo))
+	if !ok {
+		return nil, fmt.Errorf("mwvc: unknown algorithm %q (have: %s)", s.algo, strings.Join(solver.Names(), ", "))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out, err := reg.Solver.Solve(ctx, g, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return finish(g, out)
 }
 
-func finish(g *Graph, cover []bool, duals []float64, rounds, phases int, isExact bool) (*Solution, error) {
-	if ok, e := verify.IsCover(g, cover); !ok {
+// finish verifies the cover, checks the dual certificate when one is
+// supplied, and fills the Solution. CertifiedRatio follows the convention
+// documented on the field: certificate ⇒ Weight/Bound; exact ⇒ 1; empty
+// cover ⇒ 1; otherwise +Inf (certificate-free, no guarantee claimed).
+func finish(g *Graph, out *solver.Outcome) (*Solution, error) {
+	if ok, e := verify.IsCover(g, out.Cover); !ok {
 		u, v := g.Edge(e)
 		return nil, fmt.Errorf("mwvc: internal error: edge (%d,%d) uncovered", u, v)
 	}
 	sol := &Solution{
-		Cover:  cover,
-		Weight: verify.CoverWeight(g, cover),
-		Rounds: rounds,
-		Phases: phases,
-		Exact:  isExact,
+		Cover:  out.Cover,
+		Weight: verify.CoverWeight(g, out.Cover),
+		Rounds: out.Rounds,
+		Phases: out.Phases,
+		Exact:  out.Exact,
 	}
-	if duals != nil {
-		cert, err := verify.NewCertificate(g, cover, duals)
+	if out.Duals != nil {
+		cert, err := verify.NewCertificate(g, out.Cover, out.Duals)
 		if err != nil {
 			return nil, fmt.Errorf("mwvc: internal error: invalid certificate: %w", err)
 		}
 		sol.Bound = cert.Bound
 		sol.CertifiedRatio = cert.Ratio()
-	} else if isExact {
+	} else if out.Exact {
 		sol.Bound = sol.Weight
 		sol.CertifiedRatio = 1
 	} else if sol.Weight == 0 {

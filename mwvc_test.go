@@ -2,6 +2,8 @@ package mwvc
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"testing"
 )
@@ -9,7 +11,7 @@ import (
 func TestSolveAllAlgorithmsSmall(t *testing.T) {
 	g := RandomGraph(3, 60, 6)
 	for _, algo := range Algorithms() {
-		sol, err := Solve(g, Options{Algorithm: algo, Epsilon: 0.1, Seed: 5})
+		sol, err := Solve(context.Background(), g, WithAlgorithm(algo), WithEpsilon(0.1), WithSeed(5))
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
@@ -36,9 +38,36 @@ func TestSolveAllAlgorithmsSmall(t *testing.T) {
 	}
 }
 
+func TestAlgorithmsDeriveFromRegistry(t *testing.T) {
+	algos := Algorithms()
+	if len(algos) != 8 {
+		t.Fatalf("expected the 8 built-in algorithms, got %d: %v", len(algos), algos)
+	}
+	want := []Algorithm{
+		AlgoMPC, AlgoCentralized, AlgoLocalUniform, AlgoBYE,
+		AlgoGreedy, AlgoCongestedClique, AlgoGGK, AlgoExact,
+	}
+	for i, a := range want {
+		if algos[i] != a {
+			t.Fatalf("display order %v, want %v", algos, want)
+		}
+	}
+	for _, a := range algos {
+		if AlgorithmSummary(a) == "" {
+			t.Fatalf("%s has no registered summary", a)
+		}
+	}
+	if AlgorithmSummary("nonsense") != "" {
+		t.Fatal("summary for unknown algorithm")
+	}
+	if AlgorithmHelp() == "" {
+		t.Fatal("empty registry help text")
+	}
+}
+
 func TestSolveDefaults(t *testing.T) {
 	g := RandomGraph(1, 200, 10)
-	sol, err := Solve(g, Options{})
+	sol, err := Solve(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,14 +76,21 @@ func TestSolveDefaults(t *testing.T) {
 	}
 }
 
+func TestSolveNilContext(t *testing.T) {
+	g := RandomGraph(1, 100, 6)
+	if _, err := Solve(nil, g); err != nil { //nolint:staticcheck // nil ctx tolerated by contract
+		t.Fatalf("nil context rejected: %v", err)
+	}
+}
+
 func TestSolveAgainstExact(t *testing.T) {
 	g := RandomGraph(9, 40, 5)
-	opt, err := Solve(g, Options{Algorithm: AlgoExact})
+	opt, err := Solve(context.Background(), g, WithAlgorithm(AlgoExact))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, algo := range []Algorithm{AlgoMPC, AlgoCentralized, AlgoBYE, AlgoCongestedClique} {
-		sol, err := Solve(g, Options{Algorithm: algo, Epsilon: 0.1, Seed: 2})
+		sol, err := Solve(context.Background(), g, WithAlgorithm(algo), WithEpsilon(0.1), WithSeed(2))
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
@@ -71,11 +107,11 @@ func TestSolveAgainstExact(t *testing.T) {
 }
 
 func TestSolveErrors(t *testing.T) {
-	if _, err := Solve(nil, Options{}); err == nil {
+	if _, err := Solve(context.Background(), nil); err == nil {
 		t.Fatal("nil graph accepted")
 	}
 	g := RandomGraph(1, 10, 2)
-	if _, err := Solve(g, Options{Algorithm: "nonsense"}); err == nil {
+	if _, err := Solve(context.Background(), g, WithAlgorithm("nonsense")); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 	big := NewBuilder(100)
@@ -84,8 +120,26 @@ func TestSolveErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Solve(bg, Options{Algorithm: AlgoExact}); err == nil {
+	if _, err := Solve(context.Background(), bg, WithAlgorithm(AlgoExact)); err == nil {
 		t.Fatal("exact on 100 vertices accepted")
+	}
+}
+
+func TestSolvePreCancelledContext(t *testing.T) {
+	// A pre-cancelled context must return promptly with ctx.Err() for every
+	// registered algorithm — the facade checks before dispatch, so no solver
+	// touches the graph.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := RandomGraph(2, 500, 8)
+	for _, algo := range Algorithms() {
+		sol, err := Solve(ctx, g, WithAlgorithm(algo))
+		if sol != nil {
+			t.Fatalf("%s: returned a solution despite cancelled context", algo)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", algo, err)
+		}
 	}
 }
 
@@ -106,7 +160,7 @@ func TestGraphIORoundTrip(t *testing.T) {
 
 func TestPaperConstantsOption(t *testing.T) {
 	g := RandomGraph(2, 300, 12)
-	sol, err := Solve(g, Options{PaperConstants: true, Seed: 1})
+	sol, err := Solve(context.Background(), g, WithPaperConstants(), WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,10 +172,35 @@ func TestPaperConstantsOption(t *testing.T) {
 	}
 }
 
+func TestCertifiedRatioInfConvention(t *testing.T) {
+	// Certificate-free solvers (greedy) report CertifiedRatio == +Inf on any
+	// nonempty instance — "no guarantee claimed" — never 0 or NaN, so naive
+	// threshold comparisons fail safe. The empty instance reports 1.
+	g := RandomGraph(6, 80, 5)
+	sol, err := Solve(context.Background(), g, WithAlgorithm(AlgoGreedy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Bound != 0 {
+		t.Fatalf("greedy bound %v, want 0", sol.Bound)
+	}
+	if !math.IsInf(sol.CertifiedRatio, 1) {
+		t.Fatalf("greedy certified ratio %v, want +Inf", sol.CertifiedRatio)
+	}
+	empty := NewBuilder(4).MustBuild()
+	sol, err = Solve(context.Background(), empty, WithAlgorithm(AlgoGreedy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.CertifiedRatio != 1 {
+		t.Fatalf("empty-instance certified ratio %v, want 1", sol.CertifiedRatio)
+	}
+}
+
 func TestEdgelessSolution(t *testing.T) {
 	g := NewBuilder(5).MustBuild()
 	for _, algo := range Algorithms() {
-		sol, err := Solve(g, Options{Algorithm: algo})
+		sol, err := Solve(context.Background(), g, WithAlgorithm(algo))
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}

@@ -1,0 +1,147 @@
+package mwvc
+
+// Tests for the observable, cancellable solve pipeline: the Observer event
+// stream and context cancellation mid-solve.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// bimodalGraph builds a graph whose degree distribution forces the MPC
+// algorithm through more than one sampled phase: a dense core (degree ≈ dA,
+// above the phase's d^γ high-degree cutoff) plus a medium-degree fringe that
+// sits below the cutoff in phase 0, parks its edges at V^inactive, and only
+// freezes in a later phase. A homogeneous G(n,p) never does this — every
+// vertex is high-degree, so one phase collapses the whole graph.
+func bimodalGraph(seed uint64, nA int, dA float64, nB int, dB float64) *Graph {
+	a := gen.GnpAvgDegree(seed, nA, dA)
+	fringe := gen.GnpAvgDegree(seed+1, nB, dB)
+	b := graph.NewBuilder(nA + nB)
+	for e := 0; e < a.NumEdges(); e++ {
+		u, v := a.Edge(graph.EdgeID(e))
+		b.AddEdge(u, v)
+	}
+	for e := 0; e < fringe.NumEdges(); e++ {
+		u, v := fringe.Edge(graph.EdgeID(e))
+		b.AddEdge(u+graph.Vertex(nA), v+graph.Vertex(nA))
+	}
+	return b.MustBuild()
+}
+
+func TestObserverEventCountsMatchSolution(t *testing.T) {
+	g := bimodalGraph(10, 1000, 400, 2000, 40)
+	var rounds, phaseStarts, phaseEnds, finals int
+	lastRound := 0
+	obs := ObserverFunc(func(e Event) {
+		switch e.Kind {
+		case KindRound:
+			rounds++
+			if e.Round < lastRound {
+				t.Errorf("round counter went backwards: %d after %d", e.Round, lastRound)
+			}
+			lastRound = e.Round
+		case KindPhaseStart:
+			phaseStarts++
+		case KindPhaseEnd:
+			phaseEnds++
+		case KindFinalPhase:
+			finals++
+		}
+	})
+	sol, err := Solve(context.Background(), g, WithSeed(1), WithObserver(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Phases < 2 {
+		t.Fatalf("bimodal instance ran %d phases, want ≥ 2 (construction regressed)", sol.Phases)
+	}
+	if rounds != sol.Rounds {
+		t.Errorf("observed %d round events, Solution.Rounds = %d", rounds, sol.Rounds)
+	}
+	if phaseStarts != sol.Phases {
+		t.Errorf("observed %d phase-start events, Solution.Phases = %d", phaseStarts, sol.Phases)
+	}
+	if phaseEnds != sol.Phases {
+		t.Errorf("observed %d phase-end events, Solution.Phases = %d", phaseEnds, sol.Phases)
+	}
+	if finals != 1 {
+		t.Errorf("observed %d final-phase events, want exactly 1", finals)
+	}
+}
+
+func TestObserverRoundsMatchForLocalBaseline(t *testing.T) {
+	// For the LOCAL baselines one iteration is one communication round, and
+	// the event stream reflects that 1:1.
+	g := RandomGraph(4, 600, 12)
+	rounds := 0
+	obs := ObserverFunc(func(e Event) {
+		if e.Kind == KindRound {
+			rounds++
+		}
+	})
+	sol, err := Solve(context.Background(), g, WithAlgorithm(AlgoCentralized), WithSeed(2), WithObserver(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != sol.Rounds {
+		t.Errorf("observed %d round events, Solution.Rounds = %d", rounds, sol.Rounds)
+	}
+}
+
+func TestMidSolveCancellation(t *testing.T) {
+	// The instance spans multiple sampled phases (asserted by the uncancelled
+	// control run below); cancelling from the observer at the end of phase 0
+	// must abort the solve before phase 1 with context.Canceled.
+	g := bimodalGraph(10, 1000, 400, 2000, 40)
+
+	control, err := Solve(context.Background(), g, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if control.Phases < 2 {
+		t.Fatalf("control run finished in %d phases; the cancellation below would not be mid-solve", control.Phases)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	phaseEnds := 0
+	obs := ObserverFunc(func(e Event) {
+		if e.Kind == KindPhaseEnd {
+			phaseEnds++
+			cancel()
+		}
+	})
+	sol, err := Solve(ctx, g, WithSeed(1), WithObserver(obs))
+	if sol != nil {
+		t.Fatal("cancelled solve returned a solution")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if phaseEnds != 1 {
+		t.Fatalf("solve ran %d full phases after cancellation at the first phase end", phaseEnds)
+	}
+}
+
+func TestDeadlineExpiresMidSolve(t *testing.T) {
+	// An already-expired deadline surfaces as DeadlineExceeded from inside
+	// the solve loops (the facade pre-check is bypassed by cancelling after
+	// dispatch via the observer).
+	g := bimodalGraph(20, 1000, 400, 2000, 40)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	obs := ObserverFunc(func(e Event) {
+		if e.Kind == KindRound {
+			cancel() // first round event: cancel while the phase is running
+		}
+	})
+	_, err := Solve(ctx, g, WithSeed(3), WithObserver(obs))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
