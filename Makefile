@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench lint fmt tables
+.PHONY: all build test bench bench-json lint fmt tables
 
 all: lint test
 
@@ -13,6 +13,12 @@ test:
 # Per-algorithm micro-benchmarks plus the quick-mode experiment benches.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
+
+# Refresh the tracked perf snapshot: rolls BENCH.json's current numbers into
+# its baseline and measures the fixed MPC workload matrix (ns/op, allocs/op,
+# words routed per round).
+bench-json:
+	$(GO) run ./cmd/mwvc-bench -json BENCH.json
 
 lint:
 	$(GO) vet ./...

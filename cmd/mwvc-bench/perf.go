@@ -1,0 +1,206 @@
+package main
+
+// Perf-snapshot mode (-json): measures the fixed MPC workload matrix with
+// testing.Benchmark and writes a BENCH.json the repo tracks over time. Each
+// run rolls the file's previous "current" section into "baseline" and
+// reports the deltas, so the file always documents one before/after pair —
+// the benchmark-regression harness the CI smoke job and `make bench-json`
+// build on. With -regress set, a regression beyond the given factor exits
+// nonzero.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// perfWorkload is one measured cell of the workload matrix.
+type perfWorkload struct {
+	Name      string  `json:"name"`
+	N         int     `json:"n"`
+	AvgDegree float64 `json:"avg_degree"`
+	Edges     int     `json:"edges"`
+
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+
+	// Communication profile of one solve (deterministic for a fixed seed).
+	Rounds        int     `json:"rounds"`
+	TotalWords    int64   `json:"total_words"`
+	TotalMessages int64   `json:"total_messages"`
+	WordsPerRound float64 `json:"words_per_round"`
+}
+
+// perfSnapshot is one full measurement of the matrix.
+type perfSnapshot struct {
+	Generated string         `json:"generated"`
+	Go        string         `json:"go"`
+	Workloads []perfWorkload `json:"workloads"`
+}
+
+// benchFile is the on-disk BENCH.json layout.
+type benchFile struct {
+	Schema   int           `json:"schema"`
+	Note     string        `json:"note"`
+	Current  perfSnapshot  `json:"current"`
+	Baseline *perfSnapshot `json:"baseline,omitempty"`
+}
+
+// perfMatrix mirrors BenchmarkAlgorithmMPC's workload matrix (bench_test.go)
+// so `go test -bench` and BENCH.json speak about the same solves.
+var perfMatrix = []struct {
+	name string
+	n    int
+	d    float64
+}{
+	{"n4k_d32", 4000, 32},
+	{"n16k_d64", 16000, 64},
+	{"n16k_d256", 16000, 256},
+}
+
+func perfGraph(n int, d float64) *graph.Graph {
+	return gen.ApplyWeights(gen.GnpAvgDegree(1, n, d), 2, gen.UniformRange{Lo: 1, Hi: 100})
+}
+
+func measureWorkload(name string, n int, d float64) (perfWorkload, error) {
+	g := perfGraph(n, d)
+	w := perfWorkload{Name: name, N: n, AvgDegree: d, Edges: g.NumEdges()}
+
+	// One instrumented solve for the communication profile.
+	res, err := core.Run(context.Background(), g, core.ParamsPractical(0.1, 1))
+	if err != nil {
+		return w, fmt.Errorf("workload %s: %w", name, err)
+	}
+	w.Rounds = res.Rounds
+	w.TotalWords = res.ClusterMetrics.TotalWords
+	w.TotalMessages = res.ClusterMetrics.TotalMessages
+	if res.Rounds > 0 {
+		w.WordsPerRound = float64(w.TotalWords) / float64(res.Rounds)
+	}
+
+	// testing.Benchmark for the timing/allocation profile (same seed
+	// schedule as BenchmarkAlgorithmMPC). testing.Benchmark has no failure
+	// channel — b.Fatal only aborts the loop — so capture the error and
+	// check it afterwards: a zeroed result must never enter BENCH.json,
+	// where it would disarm the -regress gate.
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(context.Background(), g, core.ParamsPractical(0.1, uint64(i)+1)); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if benchErr != nil {
+		return w, fmt.Errorf("workload %s: %w", name, benchErr)
+	}
+	if r.N == 0 || r.NsPerOp() == 0 {
+		return w, fmt.Errorf("workload %s: benchmark produced no measurement", name)
+	}
+	w.NsPerOp = r.NsPerOp()
+	w.AllocsPerOp = r.AllocsPerOp()
+	w.BytesPerOp = r.AllocedBytesPerOp()
+	return w, nil
+}
+
+// runPerfSnapshot executes -json mode. It returns an error for operational
+// failures and reports (but does not fail on) regressions unless regress > 0.
+func runPerfSnapshot(path string, regress float64) error {
+	var prev *benchFile
+	if data, err := os.ReadFile(path); err == nil {
+		prev = &benchFile{}
+		if err := json.Unmarshal(data, prev); err != nil {
+			return fmt.Errorf("mwvc-bench: existing %s is not a perf snapshot: %w", path, err)
+		}
+	}
+
+	cur := perfSnapshot{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+	}
+	for _, m := range perfMatrix {
+		fmt.Printf("measuring %s (n=%d, d=%g)...\n", m.name, m.n, m.d)
+		w, err := measureWorkload(m.name, m.n, m.d)
+		if err != nil {
+			return err
+		}
+		cur.Workloads = append(cur.Workloads, w)
+	}
+
+	out := benchFile{
+		Schema: 1,
+		Note: "MPC simulator perf snapshot; regenerate with `make bench-json`. " +
+			"`baseline` is the previous run's `current`, so the file always records one before/after pair.",
+		Current: cur,
+	}
+	if prev != nil && len(prev.Current.Workloads) > 0 {
+		out.Baseline = &prev.Current
+	}
+
+	// Comparison report.
+	regressed := false
+	if out.Baseline != nil {
+		base := map[string]perfWorkload{}
+		for _, w := range out.Baseline.Workloads {
+			base[w.Name] = w
+		}
+		fmt.Printf("\n%-12s %14s %14s %10s %14s %14s %10s\n",
+			"workload", "ns/op(old)", "ns/op(new)", "Δns", "allocs(old)", "allocs(new)", "Δallocs")
+		for _, w := range cur.Workloads {
+			b, ok := base[w.Name]
+			if !ok {
+				continue
+			}
+			dns := ratioDelta(w.NsPerOp, b.NsPerOp)
+			dal := ratioDelta(w.AllocsPerOp, b.AllocsPerOp)
+			fmt.Printf("%-12s %14d %14d %9.1f%% %14d %14d %9.1f%%\n",
+				w.Name, b.NsPerOp, w.NsPerOp, dns, b.AllocsPerOp, w.AllocsPerOp, dal)
+			// Gate each metric independently: a zero-alloc baseline must
+			// still gate ns/op, and allocs moving off zero is a regression.
+			if regress > 0 {
+				if b.NsPerOp > 0 && float64(w.NsPerOp) > regress*float64(b.NsPerOp) {
+					regressed = true
+				}
+				if b.AllocsPerOp > 0 && float64(w.AllocsPerOp) > regress*float64(b.AllocsPerOp) {
+					regressed = true
+				}
+				if b.AllocsPerOp == 0 && w.AllocsPerOp > 0 {
+					regressed = true
+				}
+			}
+		}
+	}
+
+	// A failed gate must not roll the baseline: leave the file untouched so
+	// the good numbers survive and a rerun fails against them again.
+	if regressed {
+		return fmt.Errorf("mwvc-bench: perf regression beyond %.2fx detected; %s left unchanged", regress, path)
+	}
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
+}
+
+func ratioDelta(now, then int64) float64 {
+	if then == 0 {
+		return 0
+	}
+	return 100 * (float64(now) - float64(then)) / float64(then)
+}

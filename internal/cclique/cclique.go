@@ -68,6 +68,7 @@ func Run(ctx context.Context, g *graph.Graph, cfg solver.Config) (*Result, error
 	if err != nil {
 		return nil, err
 	}
+	defer cluster.Close()
 
 	growth := 1 / (1 - epsilon)
 	lo, hi := 1-4*epsilon, 1-2*epsilon

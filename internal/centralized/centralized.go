@@ -157,7 +157,7 @@ func DeriveX0(inst Instance, policy InitPolicy) ([]float64, error) {
 	x0 := make([]float64, g.NumEdges())
 	switch policy {
 	case InitDegreeAware:
-		deg := g.DegreesWithin(isActive)
+		deg := g.DegreesWithinMask(active)
 		for e := 0; e < g.NumEdges(); e++ {
 			u, v := g.Edge(graph.EdgeID(e))
 			if !isActive(u) || !isActive(v) {

@@ -33,6 +33,31 @@ const (
 // noFreeze marks a vertex that stayed active through a local simulation.
 const noFreeze = -1
 
+// machScratch is one simulated machine's reusable working set: the
+// per-destination counters and arena-backed message buffers of the scatter
+// and result rounds, the decoded local instance, and the local-simulation
+// arrays. One machScratch per machine id lives for the whole run; messages
+// are staged straight into the machine's outgoing arena (count → Reserve →
+// Alloc → fill), so the per-phase MPC rounds allocate nothing at steady
+// state and only arena growth on the first phase.
+type machScratch struct {
+	vCnt, eCnt []int32    // per-destination record counts, then write cursors
+	vBuf, eBuf [][]uint64 // per-destination Alloc'd message buffers
+	edgeIDs    []int32    // co-located edges found by the count pass
+	li         localInstance
+	sim        simScratch
+}
+
+// ensure sizes the per-destination arrays for a fleet of `total` machines.
+func (sc *machScratch) ensure(total int) {
+	if sc.vCnt == nil {
+		sc.vCnt = make([]int32, total)
+		sc.eCnt = make([]int32, total)
+		sc.vBuf = make([][]uint64, total)
+		sc.eBuf = make([][]uint64, total)
+	}
+}
+
 // Run executes Algorithm 2 on g and returns the cover, the finalized dual
 // weights, and the per-phase measurements. The context is checked between
 // phases, between cluster rounds, and inside the final centralized phase, so
@@ -66,11 +91,8 @@ func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 	xFinal := res.X
 	edgeFrozen := make([]bool, mEdges)
 	frozenIncident := make([]float64, n)
-	resDeg := make([]int, n)
+	resDeg := g.DegreesWithinMaskInto(make([]int, n), nil)
 	nonfrozenEdges := int64(mEdges)
-	for v := 0; v < n; v++ {
-		resDeg[v] = g.Degree(graph.Vertex(v))
-	}
 
 	// Defensive freeze for a vertex whose residual weight has been exhausted
 	// (mathematically prevented by Line 2i; guarded against float drift).
@@ -119,6 +141,7 @@ func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer cluster.Close()
 
 	maxPhases := p.MaxPhases
 	if maxPhases == 0 {
@@ -151,16 +174,33 @@ func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 		return nil
 	}
 
-	// Reused per-phase scratch.
+	// Reused per-phase scratch. The n-sized arrays are carved out of two
+	// backing allocations (one per element type).
+	f64Scratch := make([]float64, 2*n)
+	wres, yMPC := f64Scratch[:n:n], f64Scratch[n:]
+	i32Scratch := make([]int32, 4*n)
+	highIndex, machineOf, freezeIterShared, localIdx := i32Scratch[:n:n], i32Scratch[n:2*n:2*n], i32Scratch[2*n:3*n:3*n], i32Scratch[3*n:]
+	for v := range localIdx {
+		localIdx[v] = -1
+	}
 	high := make([]bool, n)
-	highIndex := make([]int32, n)
-	wres := make([]float64, n)
-	machineOf := make([]int32, n)
-	freezeIterShared := make([]int32, n)
-	yMPC := make([]float64, n)
 	xPhase := make([]float64, mEdges)
 	var highList []graph.Vertex
 	var highEdges []int32
+	var pow []float64
+	var newlyFrozen []graph.Vertex
+	localEdgeCount := make([]int64, mTotal)
+
+	// Per-machine communication and simulation scratch, reused across all
+	// phases and rounds so the steady-state message plane allocates nothing:
+	// staging buffers grow once, then recycle.
+	scratch := make([]machScratch, mTotal)
+	// localIdx (carved from i32Scratch above) maps a global vertex id to its
+	// index on the simulation machine that owns it this phase (-1 otherwise).
+	// The partition assigns each vertex to exactly one machine and the
+	// scatter only ships co-located edges, so concurrent machines touch
+	// disjoint entries; each machine resets its own entries after its
+	// simulation.
 
 	phase := 0
 	stalls := 0
@@ -361,43 +401,76 @@ func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 			if !sawScalar {
 				return fmt.Errorf("core: machine %d missing the shared average degree", id)
 			}
-			vb := make([][]uint64, mMach)
-			for v := id; v < n; v += mTotal {
-				if !high[v] {
-					continue
-				}
-				dst := machineOf[v]
-				if vb[dst] == nil {
-					vb[dst] = append(make([]uint64, 0, 64), tagVertex)
-				}
-				vb[dst] = mpc.AppendVertexRecord(vb[dst], int32(v), wres[v])
+			sc := &scratch[id]
+			sc.ensure(mTotal)
+			vCnt, eCnt := sc.vCnt, sc.eCnt
+			vBuf, eBuf := sc.vBuf, sc.eBuf
+			// Count records per destination, reserve the total arena volume,
+			// then stage each destination's message in place — no
+			// intermediate buffers, no copies.
+			for dst := 0; dst < mMach; dst++ {
+				vCnt[dst] = 0
+				eCnt[dst] = 0
 			}
-			eb := make([][]uint64, mMach)
+			for v := id; v < n; v += mTotal {
+				if high[v] {
+					vCnt[machineOf[v]]++
+				}
+			}
+			sc.edgeIDs = sc.edgeIDs[:0]
 			for e := id; e < mEdges; e += mTotal {
 				if edgeFrozen[e] {
 					continue
 				}
 				u, v := g.Edge(graph.EdgeID(e))
-				if !high[u] || !high[v] || machineOf[u] != machineOf[v] {
+				if high[u] && high[v] && machineOf[u] == machineOf[v] {
+					eCnt[machineOf[u]]++
+					sc.edgeIDs = append(sc.edgeIDs, int32(e))
+				}
+			}
+			total := int64(0)
+			for dst := 0; dst < mMach; dst++ {
+				if vCnt[dst] > 0 {
+					total += 1 + int64(vCnt[dst])*mpc.VertexRecordWords
+				}
+				if eCnt[dst] > 0 {
+					total += 1 + int64(eCnt[dst])*mpc.EdgeRecordWords
+				}
+			}
+			mach.Reserve(total)
+			for dst := 0; dst < mMach; dst++ {
+				if vCnt[dst] > 0 {
+					buf, err := mach.Alloc(dst, 1+int(vCnt[dst])*mpc.VertexRecordWords)
+					if err != nil {
+						return err
+					}
+					buf[0] = tagVertex
+					vBuf[dst] = buf[1:]
+				}
+				if eCnt[dst] > 0 {
+					buf, err := mach.Alloc(dst, 1+int(eCnt[dst])*mpc.EdgeRecordWords)
+					if err != nil {
+						return err
+					}
+					buf[0] = tagEdge
+					eBuf[dst] = buf[1:]
+				}
+				vCnt[dst] = 0 // reuse as write cursor
+				eCnt[dst] = 0
+			}
+			for v := id; v < n; v += mTotal {
+				if !high[v] {
 					continue
 				}
-				dst := machineOf[u]
-				if eb[dst] == nil {
-					eb[dst] = append(make([]uint64, 0, 64), tagEdge)
-				}
-				eb[dst] = mpc.AppendEdgeRecord(eb[dst], u, v, xPhase[e])
+				dst := machineOf[v]
+				mpc.SetVertexRecord(vBuf[dst], int(vCnt[dst]), int32(v), wres[v])
+				vCnt[dst]++
 			}
-			for dst := 0; dst < mMach; dst++ {
-				if vb[dst] != nil {
-					if err := mach.Send(dst, vb[dst]); err != nil {
-						return err
-					}
-				}
-				if eb[dst] != nil {
-					if err := mach.Send(dst, eb[dst]); err != nil {
-						return err
-					}
-				}
+			for _, e := range sc.edgeIDs {
+				u, v := g.Edge(graph.EdgeID(e))
+				dst := machineOf[u]
+				mpc.SetEdgeRecord(eBuf[dst], int(eCnt[dst]), u, v, xPhase[e])
+				eCnt[dst]++
 			}
 			return nil
 		})
@@ -409,7 +482,9 @@ func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 		// its induced subgraph (charged against its memory budget — this is
 		// the Lemma 4.1 constraint), runs Lines (2g i–iii), and routes the
 		// freeze results to each vertex's home machine.
-		localEdgeCount := make([]int64, mTotal)
+		for i := range localEdgeCount {
+			localEdgeCount[i] = 0
+		}
 		err = step(func(mach *mpc.Machine) error {
 			id := mach.ID()
 			inbox := mach.Inbox()
@@ -419,8 +494,25 @@ func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 				}
 				return nil
 			}
-			li := &localInstance{}
-			local := make(map[graph.Vertex]int32)
+			sc := &scratch[id]
+			li := &sc.li
+			li.reset()
+			nV, nE := 0, 0
+			for _, msg := range inbox {
+				if len(msg.Data) == 0 {
+					continue
+				}
+				switch msg.Data[0] {
+				case tagVertex:
+					nV += (len(msg.Data) - 1) / mpc.VertexRecordWords
+				case tagEdge:
+					nE += (len(msg.Data) - 1) / mpc.EdgeRecordWords
+				}
+			}
+			li.grow(nV, nE)
+			// localIdx is shared across machines but the partition makes the
+			// writes disjoint: only this machine's own vertices are indexed,
+			// and they are reset below before the step returns.
 			for _, msg := range inbox {
 				if len(msg.Data) == 0 || msg.Data[0] != tagVertex {
 					continue
@@ -432,7 +524,7 @@ func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 				}
 				for i := 0; i < cnt; i++ {
 					v, w := mpc.DecodeVertexRecord(body, i)
-					local[v] = int32(len(li.vertexIDs))
+					localIdx[v] = int32(len(li.vertexIDs))
 					li.vertexIDs = append(li.vertexIDs, v)
 					li.resWeight = append(li.resWeight, w)
 				}
@@ -448,9 +540,8 @@ func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 				}
 				for i := 0; i < cnt; i++ {
 					u, v, x0 := mpc.DecodeEdgeRecord(body, i)
-					lu, ok1 := local[u]
-					lv, ok2 := local[v]
-					if !ok1 || !ok2 {
+					lu, lv := localIdx[u], localIdx[v]
+					if lu < 0 || lv < 0 {
 						return fmt.Errorf("core: machine %d received edge (%d,%d) without both endpoints", id, u, v)
 					}
 					li.edges = append(li.edges, [2]int32{lu, lv})
@@ -461,21 +552,39 @@ func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 				return err
 			}
 			localEdgeCount[id] = int64(len(li.edges))
-			freeze := runLocalSim(li, mMach, iters, eps, biasCoeff, p.BiasGrowth, threshold)
-			out := make([][]uint64, mTotal)
-			for i, v := range li.vertexIDs {
-				home := int(v) % mTotal
-				if out[home] == nil {
-					out[home] = append(make([]uint64, 0, 32), tagResult)
-				}
-				out[home] = mpc.AppendResultRecord(out[home], v, freeze[i])
+			freeze := runLocalSim(li, mMach, iters, eps, biasCoeff, p.BiasGrowth, threshold, &sc.sim)
+			// Stage the freeze results per home machine, reusing the scatter
+			// counters/buffers (count → Reserve → Alloc → fill, as above).
+			rCnt, rBuf := sc.vCnt, sc.vBuf
+			for dst := 0; dst < mTotal; dst++ {
+				rCnt[dst] = 0
 			}
-			for dst, data := range out {
-				if data != nil {
-					if err := mach.Send(dst, data); err != nil {
+			for _, v := range li.vertexIDs {
+				rCnt[int(v)%mTotal]++
+			}
+			total := int64(0)
+			for dst := 0; dst < mTotal; dst++ {
+				if rCnt[dst] > 0 {
+					total += 1 + int64(rCnt[dst])*mpc.ResultRecordWords
+				}
+			}
+			mach.Reserve(total)
+			for dst := 0; dst < mTotal; dst++ {
+				if rCnt[dst] > 0 {
+					buf, err := mach.Alloc(dst, 1+int(rCnt[dst])*mpc.ResultRecordWords)
+					if err != nil {
 						return err
 					}
+					buf[0] = tagResult
+					rBuf[dst] = buf[1:]
 				}
+				rCnt[dst] = 0 // reuse as write cursor
+			}
+			for i, v := range li.vertexIDs {
+				home := int(v) % mTotal
+				mpc.SetResultRecord(rBuf[home], int(rCnt[home]), v, freeze[i])
+				rCnt[home]++
+				localIdx[v] = -1
 			}
 			return nil
 		})
@@ -542,7 +651,11 @@ func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 
 		// Line (2h): every edge of E[V^high] gets the weight implied by the
 		// earliest endpoint freeze (t′ = I when both stayed active).
-		pow := make([]float64, iters+1)
+		if cap(pow) < iters+1 {
+			pow = make([]float64, iters+1)
+		} else {
+			pow = pow[:iters+1]
+		}
 		pow[0] = 1
 		for t := 1; t <= iters; t++ {
 			pow[t] = pow[t-1] * growth
@@ -563,7 +676,7 @@ func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 		}
 
 		// Freeze set 1: vertices frozen by their local simulation.
-		var newlyFrozen []graph.Vertex
+		newlyFrozen = newlyFrozen[:0]
 		for _, v := range highList {
 			if freezeIterShared[v] >= 0 {
 				newlyFrozen = append(newlyFrozen, v)

@@ -8,7 +8,9 @@ import (
 
 // localInstance is the subproblem one machine simulates in a phase: the
 // subgraph induced by its partition class V_i, with residual weights and
-// initial duals computed at the phase start.
+// initial duals computed at the phase start. Instances are reused across
+// phases (see reset), so a machine's decode buffers are allocated once and
+// recycled.
 type localInstance struct {
 	// vertexIDs holds the global ids of the machine's vertices; all other
 	// slices are indexed by position in this list.
@@ -20,9 +22,67 @@ type localInstance struct {
 	x0    []float64
 }
 
+// reset empties the instance for reuse, keeping the allocated capacity.
+func (li *localInstance) reset() {
+	li.vertexIDs = li.vertexIDs[:0]
+	li.resWeight = li.resWeight[:0]
+	li.edges = li.edges[:0]
+	li.x0 = li.x0[:0]
+}
+
+// grow ensures capacity for nv vertices and ne edges (lengths unchanged),
+// so record ingestion appends without intermediate reallocations.
+func (li *localInstance) grow(nv, ne int) {
+	if cap(li.vertexIDs) < nv {
+		li.vertexIDs = append(make([]graph.Vertex, 0, nv), li.vertexIDs...)
+		li.resWeight = append(make([]float64, 0, nv), li.resWeight...)
+	}
+	if cap(li.edges) < ne {
+		li.edges = append(make([][2]int32, 0, ne), li.edges...)
+		li.x0 = append(make([]float64, 0, ne), li.x0...)
+	}
+}
+
 // words returns the MPC memory footprint of the instance.
 func (li *localInstance) words() int64 {
 	return int64(len(li.edges))*3 + int64(len(li.vertexIDs))*2
+}
+
+// simSlot is one adjacency entry of the local subgraph.
+type simSlot struct {
+	edge  int32
+	other int32
+}
+
+// simScratch holds the per-machine working arrays of runLocalSim, recycled
+// across phases so a steady-state phase allocates nothing per simulation.
+// The freezeIter result slice is part of the scratch: it is valid until the
+// machine's next runLocalSim call.
+type simScratch struct {
+	freezeIter []int
+	adjOff     []int32
+	adj        []simSlot
+	cursor     []int32
+	x          []float64
+	edgeActive []bool
+	sumActive  []float64
+	sumFrozen  []float64
+	active     []bool
+	freezeList []int32
+}
+
+// growSlice resizes s to n elements without preserving contents, reusing
+// capacity and doubling on growth (phase working sets shrink over a run, so
+// after the first phase these are plain re-slices).
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	newCap := 2 * cap(s)
+	if newCap < n {
+		newCap = n
+	}
+	return make([]T, n, newCap)
 }
 
 // runLocalSim executes Lines (2g i–iii): I iterations of the centralized
@@ -45,11 +105,13 @@ func (li *localInstance) words() int64 {
 // implement the w′(v)-scaled form; DESIGN.md records the correction.
 //
 // It returns, per local vertex, the iteration at which it froze (or -1).
+// The returned slice aliases sc and is valid until sc's next use.
 func runLocalSim(li *localInstance, machines, iterations int, epsilon, biasCoeff, biasGrowth float64,
-	threshold func(v graph.Vertex, t int) float64) []int {
+	threshold func(v graph.Vertex, t int) float64, sc *simScratch) []int {
 
 	nv := len(li.vertexIDs)
-	freezeIter := make([]int, nv)
+	sc.freezeIter = growSlice(sc.freezeIter, nv)
+	freezeIter := sc.freezeIter
 	for i := range freezeIter {
 		freezeIter[i] = -1
 	}
@@ -58,11 +120,11 @@ func runLocalSim(li *localInstance, machines, iterations int, epsilon, biasCoeff
 	}
 
 	// Adjacency over local edges.
-	type slot struct {
-		edge  int32
-		other int32
+	sc.adjOff = growSlice(sc.adjOff, nv+1)
+	adjOff := sc.adjOff
+	for i := range adjOff {
+		adjOff[i] = 0
 	}
-	adjOff := make([]int32, nv+1)
 	for _, e := range li.edges {
 		adjOff[e[0]+1]++
 		adjOff[e[1]+1]++
@@ -70,14 +132,16 @@ func runLocalSim(li *localInstance, machines, iterations int, epsilon, biasCoeff
 	for i := 0; i < nv; i++ {
 		adjOff[i+1] += adjOff[i]
 	}
-	adj := make([]slot, len(li.edges)*2)
-	cursor := make([]int32, nv)
+	sc.adj = growSlice(sc.adj, len(li.edges)*2)
+	adj := sc.adj
+	sc.cursor = growSlice(sc.cursor, nv)
+	cursor := sc.cursor
 	copy(cursor, adjOff[:nv])
 	for ei, e := range li.edges {
 		u, v := e[0], e[1]
-		adj[cursor[u]] = slot{edge: int32(ei), other: v}
+		adj[cursor[u]] = simSlot{edge: int32(ei), other: v}
 		cursor[u]++
-		adj[cursor[v]] = slot{edge: int32(ei), other: u}
+		adj[cursor[v]] = simSlot{edge: int32(ei), other: u}
 		cursor[v]++
 	}
 
@@ -88,21 +152,31 @@ func runLocalSim(li *localInstance, machines, iterations int, epsilon, biasCoeff
 	// Incremental incident sums, split into the part that still grows and
 	// the part frozen at its final value (same scheme as the centralized
 	// implementation).
-	x := append([]float64(nil), li.x0...)
-	edgeActive := make([]bool, len(li.edges))
-	sumActive := make([]float64, nv)
-	sumFrozen := make([]float64, nv)
+	sc.x = growSlice(sc.x, len(li.x0))
+	x := sc.x
+	copy(x, li.x0)
+	sc.edgeActive = growSlice(sc.edgeActive, len(li.edges))
+	edgeActive := sc.edgeActive
+	sc.sumActive = growSlice(sc.sumActive, nv)
+	sumActive := sc.sumActive
+	sc.sumFrozen = growSlice(sc.sumFrozen, nv)
+	sumFrozen := sc.sumFrozen
+	for i := 0; i < nv; i++ {
+		sumActive[i] = 0
+		sumFrozen[i] = 0
+	}
 	for ei, e := range li.edges {
 		edgeActive[ei] = true
 		sumActive[e[0]] += x[ei]
 		sumActive[e[1]] += x[ei]
 	}
-	active := make([]bool, nv)
+	sc.active = growSlice(sc.active, nv)
+	active := sc.active
 	for i := range active {
 		active[i] = true
 	}
 
-	var freezeList []int32
+	freezeList := sc.freezeList
 	bias := biasBase
 	for t := 0; t < iterations; t++ {
 		// Line (2g i): simultaneous freeze test with the biased estimator.
@@ -146,5 +220,6 @@ func runLocalSim(li *localInstance, machines, iterations int, epsilon, biasCoeff
 		}
 		bias *= biasGrowth
 	}
+	sc.freezeList = freezeList
 	return freezeIter
 }

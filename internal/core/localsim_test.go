@@ -14,7 +14,7 @@ func constThreshold(th float64) func(graph.Vertex, int) float64 {
 
 func TestLocalSimEmptyInstance(t *testing.T) {
 	li := &localInstance{}
-	out := runLocalSim(li, 4, 3, 0.1, 0, 1, constThreshold(0.7))
+	out := runLocalSim(li, 4, 3, 0.1, 0, 1, constThreshold(0.7), &simScratch{})
 	if len(out) != 0 {
 		t.Fatal("nonempty result for empty instance")
 	}
@@ -27,7 +27,7 @@ func TestLocalSimZeroIterations(t *testing.T) {
 		edges:     [][2]int32{{0, 1}},
 		x0:        []float64{0.5},
 	}
-	out := runLocalSim(li, 4, 0, 0.1, 0, 1, constThreshold(0.7))
+	out := runLocalSim(li, 4, 0, 0.1, 0, 1, constThreshold(0.7), &simScratch{})
 	for i, f := range out {
 		if f != -1 {
 			t.Fatalf("vertex %d froze with zero iterations", i)
@@ -43,7 +43,7 @@ func TestLocalSimImmediateFreeze(t *testing.T) {
 		edges:     [][2]int32{{0, 1}},
 		x0:        []float64{0.5},
 	}
-	out := runLocalSim(li, 4, 3, 0.1, 0, 1, constThreshold(0.7))
+	out := runLocalSim(li, 4, 3, 0.1, 0, 1, constThreshold(0.7), &simScratch{})
 	if out[0] != 0 || out[1] != 0 {
 		t.Fatalf("freeze iterations %v, want [0 0]", out)
 	}
@@ -59,7 +59,7 @@ func TestLocalSimGrowthThenFreeze(t *testing.T) {
 		edges:     [][2]int32{{0, 1}},
 		x0:        []float64{0.5},
 	}
-	out := runLocalSim(li, 1, 10, 0.1, 0, 1, constThreshold(0.7))
+	out := runLocalSim(li, 1, 10, 0.1, 0, 1, constThreshold(0.7), &simScratch{})
 	if out[0] != 4 || out[1] != 4 {
 		t.Fatalf("freeze iterations %v, want [4 4]", out)
 	}
@@ -76,7 +76,7 @@ func TestLocalSimFrozenEdgesStopGrowing(t *testing.T) {
 		edges:     [][2]int32{{0, 1}, {1, 2}},
 		x0:        []float64{0.05, 0.05},
 	}
-	out := runLocalSim(li, 1, 30, 0.1, 0, 1, constThreshold(0.7))
+	out := runLocalSim(li, 1, 30, 0.1, 0, 1, constThreshold(0.7), &simScratch{})
 	if out[0] != 4 {
 		t.Fatalf("cheap vertex froze at %d, want 4", out[0])
 	}
@@ -99,11 +99,11 @@ func TestLocalSimBiasAloneCanFreeze(t *testing.T) {
 	}
 	m := 4
 	needed := 0.7 * math.Pow(float64(m), 0.2)
-	out := runLocalSim(li, m, 2, 0.1, needed+0.01, 1, constThreshold(0.7))
+	out := runLocalSim(li, m, 2, 0.1, needed+0.01, 1, constThreshold(0.7), &simScratch{})
 	if out[0] != 0 {
 		t.Fatalf("bias did not freeze the isolated vertex: %v", out)
 	}
-	out = runLocalSim(li, m, 2, 0.1, needed-0.01, 1, constThreshold(0.7))
+	out = runLocalSim(li, m, 2, 0.1, needed-0.01, 1, constThreshold(0.7), &simScratch{})
 	if out[0] != -1 {
 		t.Fatalf("sub-threshold bias froze the vertex: %v", out)
 	}
@@ -118,7 +118,7 @@ func TestLocalSimBiasGrowthCompounds(t *testing.T) {
 	}
 	m := 4
 	c := 0.7 * math.Pow(float64(m), 0.2) / 100 // bias(0) = th/100
-	out := runLocalSim(li, m, 5, 0.1, c, 15, constThreshold(0.7))
+	out := runLocalSim(li, m, 5, 0.1, c, 15, constThreshold(0.7), &simScratch{})
 	// 15^2 = 225 ≥ 100 ⇒ freeze at t=2.
 	if out[0] != 2 {
 		t.Fatalf("freeze at %v, want 2", out[0])
@@ -134,7 +134,7 @@ func TestLocalSimSimultaneousFreezeConsistency(t *testing.T) {
 		edges:     [][2]int32{{0, 1}, {1, 2}, {0, 2}},
 		x0:        []float64{0.2, 0.2, 0.2},
 	}
-	out := runLocalSim(li, 1, 10, 0.1, 0, 1, constThreshold(0.7))
+	out := runLocalSim(li, 1, 10, 0.1, 0, 1, constThreshold(0.7), &simScratch{})
 	if out[0] != out[1] || out[1] != out[2] {
 		t.Fatalf("symmetric vertices froze at different times: %v", out)
 	}

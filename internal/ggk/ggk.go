@@ -138,6 +138,13 @@ func Run(ctx context.Context, g *graph.Graph, cfg solver.Config) (*Result, error
 	t := 0
 	phase := 0
 	maxPhases := 64
+	// Per-phase working arrays, allocated once and recycled: the phase loop
+	// itself runs allocation-free at steady state.
+	machineOf := make([]int32, n)
+	localDeg := make([]int, n)
+	freezeIter := make([]int32, n)
+	localActive := make([]bool, n)
+	var toFreeze []graph.Vertex
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -175,7 +182,6 @@ func Run(ctx context.Context, g *graph.Graph, cfg solver.Config) (*Result, error
 		// estimator. Machine-local work is reproduced faithfully; the
 		// communication pattern matches internal/core's measured 5-round
 		// schedule, accounted below.
-		machineOf := make([]int32, n)
 		for v := 0; v < n; v++ {
 			if !frozen[v] {
 				machineOf[v] = int32(rng.ChooseAt(seed, mMach, 'G', uint64(phase), uint64(v)))
@@ -184,7 +190,9 @@ func Run(ctx context.Context, g *graph.Graph, cfg solver.Config) (*Result, error
 			}
 		}
 		// localDeg[v]: active neighbors on v's own machine.
-		localDeg := make([]int, n)
+		for v := range localDeg {
+			localDeg[v] = 0
+		}
 		for e := 0; e < m; e++ {
 			if edgeFrozen[e] {
 				continue
@@ -197,17 +205,15 @@ func Run(ctx context.Context, g *graph.Graph, cfg solver.Config) (*Result, error
 		}
 		// Local simulation: I iterations of the degree-threshold test with
 		// the m-scaled estimator ŷ = m·localDeg·x_t.
-		freezeIter := make([]int32, n)
 		for v := range freezeIter {
 			freezeIter[v] = -1
 		}
-		localActive := make([]bool, n)
 		for v := 0; v < n; v++ {
 			localActive[v] = !frozen[v]
 		}
 		for it := 0; it < iters; it++ {
 			x := xAt(t + it)
-			var toFreeze []graph.Vertex
+			toFreeze = toFreeze[:0]
 			for v := 0; v < n; v++ {
 				if !localActive[v] || machineOf[v] < 0 {
 					continue
@@ -284,7 +290,7 @@ func Run(ctx context.Context, g *graph.Graph, cfg solver.Config) (*Result, error
 			return nil, err
 		}
 		x := xAt(t)
-		var toFreeze []graph.Vertex
+		toFreeze = toFreeze[:0]
 		for v := 0; v < n; v++ {
 			if frozen[v] || activeDeg[v] == 0 {
 				continue

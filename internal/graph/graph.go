@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Vertex is the integer id of a vertex, in [0, NumVertices()).
@@ -200,16 +201,45 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
+// inducedScratch pools the n-sized old→new index arrays used by Induced.
+// Pooled slices uphold the invariant that every entry is -1; borrowers reset
+// the entries they touched before returning a slice (O(|vertices|), not
+// O(n)), so repeated Induced calls allocate no per-call index map.
+var inducedScratch sync.Pool
+
+// borrowIndex returns an all -1 index slice of length ≥ n.
+func borrowIndex(n int) []Vertex {
+	if p, _ := inducedScratch.Get().(*[]Vertex); p != nil && cap(*p) >= n {
+		return (*p)[:cap(*p)]
+	}
+	s := make([]Vertex, n)
+	for i := range s {
+		s[i] = -1
+	}
+	return s
+}
+
+// returnIndex resets the touched entries of s (the first `used` entries of
+// vertices, all in range) and returns it to the pool.
+func returnIndex(s []Vertex, vertices []Vertex, used int) {
+	for _, v := range vertices[:used] {
+		s[v] = -1
+	}
+	inducedScratch.Put(&s)
+}
+
 // Induced returns the subgraph induced by the given vertex set together with
 // a mapping from new vertex ids to original ids. Vertices may be listed in
 // any order; duplicates are rejected.
 func (g *Graph) Induced(vertices []Vertex) (*Graph, []Vertex, error) {
-	toNew := make(map[Vertex]Vertex, len(vertices))
+	toNew := borrowIndex(g.NumVertices())
 	for i, v := range vertices {
 		if v < 0 || int(v) >= g.NumVertices() {
+			returnIndex(toNew, vertices, i)
 			return nil, nil, fmt.Errorf("graph: induced vertex %d out of range", v)
 		}
-		if _, dup := toNew[v]; dup {
+		if toNew[v] >= 0 {
+			returnIndex(toNew, vertices, i)
 			return nil, nil, fmt.Errorf("graph: duplicate vertex %d in induced set", v)
 		}
 		toNew[v] = Vertex(i)
@@ -223,11 +253,12 @@ func (g *Graph) Induced(vertices []Vertex) (*Graph, []Vertex, error) {
 	for _, v := range vertices {
 		nv := toNew[v]
 		for _, u := range g.Neighbors(v) {
-			if nu, ok := toNew[u]; ok && nv < nu {
+			if nu := toNew[u]; nu >= 0 && nv < nu {
 				b.AddEdge(nv, nu)
 			}
 		}
 	}
+	returnIndex(toNew, vertices, len(vertices))
 	sub, err := b.Build()
 	if err != nil {
 		return nil, nil, err
@@ -237,7 +268,9 @@ func (g *Graph) Induced(vertices []Vertex) (*Graph, []Vertex, error) {
 
 // DegreesWithin returns, for every vertex, the number of neighbors u for
 // which include(u) is true. It is the residual-degree primitive of
-// Algorithm 2 Line (2k), where include is "u is nonfrozen".
+// Algorithm 2 Line (2k), where include is "u is nonfrozen". When the
+// predicate is backed by a []bool, DegreesWithinMask avoids the indirect
+// call per adjacency slot.
 func (g *Graph) DegreesWithin(include func(Vertex) bool) []int {
 	deg := make([]int, g.NumVertices())
 	for v := 0; v < g.NumVertices(); v++ {
@@ -246,6 +279,38 @@ func (g *Graph) DegreesWithin(include func(Vertex) bool) []int {
 				deg[v]++
 			}
 		}
+	}
+	return deg
+}
+
+// DegreesWithinMask is the []bool fast path of DegreesWithin: deg[v] counts
+// the neighbors u with mask[u]. A nil mask counts every neighbor. It is the
+// form used by the residual-degree computations of the core and centralized
+// algorithms, where the membership set is already a flat boolean slice.
+func (g *Graph) DegreesWithinMask(mask []bool) []int {
+	return g.DegreesWithinMaskInto(make([]int, g.NumVertices()), mask)
+}
+
+// DegreesWithinMaskInto is DegreesWithinMask writing into caller-provided
+// storage (len must be NumVertices), for callers that recycle the slice.
+func (g *Graph) DegreesWithinMaskInto(deg []int, mask []bool) []int {
+	if len(deg) != g.NumVertices() {
+		panic(fmt.Sprintf("graph: DegreesWithinMaskInto dst length %d, want %d", len(deg), g.NumVertices()))
+	}
+	if mask == nil {
+		for v := range deg {
+			deg[v] = g.Degree(Vertex(v))
+		}
+		return deg
+	}
+	for v := range deg {
+		d := 0
+		for _, u := range g.Neighbors(Vertex(v)) {
+			if mask[u] {
+				d++
+			}
+		}
+		deg[v] = d
 	}
 	return deg
 }

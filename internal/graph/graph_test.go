@@ -221,6 +221,132 @@ func TestDegreesWithin(t *testing.T) {
 	}
 }
 
+func TestDegreesWithinMaskAgreesWithPredicate(t *testing.T) {
+	g := randomGraph(7, 200, 1500)
+	mask := make([]bool, g.NumVertices())
+	for v := range mask {
+		mask[v] = v%3 != 0
+	}
+	want := g.DegreesWithin(func(v Vertex) bool { return mask[v] })
+	got := g.DegreesWithinMask(mask)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("mask fast path disagrees at vertex %d: %d vs %d", v, got[v], want[v])
+		}
+	}
+	// nil mask counts every neighbor.
+	for v, d := range g.DegreesWithinMask(nil) {
+		if d != g.Degree(Vertex(v)) {
+			t.Fatalf("DegreesWithinMask(nil) mismatch at %d", v)
+		}
+	}
+	// The Into variant writes into caller storage and returns it.
+	dst := make([]int, g.NumVertices())
+	if &g.DegreesWithinMaskInto(dst, mask)[0] != &dst[0] {
+		t.Fatal("Into variant did not reuse caller storage")
+	}
+	for v := range want {
+		if dst[v] != want[v] {
+			t.Fatalf("Into variant disagrees at vertex %d", v)
+		}
+	}
+}
+
+func TestDegreesWithinMaskIntoPanicsOnBadLength(t *testing.T) {
+	g := mustTriangle(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short dst accepted")
+		}
+	}()
+	g.DegreesWithinMaskInto(make([]int, 1), nil)
+}
+
+func TestInducedScratchReuseKeepsResultsIndependent(t *testing.T) {
+	// Back-to-back Induced calls share the pooled index scratch; results
+	// must be independent and the scratch reset between calls (a stale
+	// entry would leak an edge or a false duplicate into the second call).
+	g := randomGraph(11, 300, 3000)
+	vs1 := []Vertex{5, 10, 15, 20, 25, 30}
+	vs2 := []Vertex{5, 11, 16, 21, 26, 31} // overlaps vs1 at vertex 5
+	sub1a, _, err := g.Induced(vs1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.Induced(vs2); err != nil {
+		t.Fatal(err)
+	}
+	sub1b, _, err := g.Induced(vs1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub1a.NumEdges() != sub1b.NumEdges() || sub1a.String() != sub1b.String() {
+		t.Fatalf("induced subgraph changed across pooled calls: %v vs %v", sub1a, sub1b)
+	}
+	if err := sub1b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Error paths must reset the scratch too.
+	if _, _, err := g.Induced([]Vertex{1, 2, 1}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, _, err := g.Induced([]Vertex{1, 2, Vertex(g.NumVertices())}); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	sub1c, _, err := g.Induced(vs1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub1c.NumEdges() != sub1a.NumEdges() {
+		t.Fatalf("scratch corrupted by error path: %v vs %v", sub1c, sub1a)
+	}
+}
+
+// BenchmarkInduced measures the per-call cost of Induced; the pooled index
+// scratch removes the per-call map that used to dominate allocations.
+func BenchmarkInduced(b *testing.B) {
+	g := randomGraph(3, 20000, 200000)
+	vertices := make([]Vertex, 0, 2000)
+	for v := 0; v < 20000; v += 10 {
+		vertices = append(vertices, Vertex(v))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := g.Induced(vertices); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDegreesWithin compares the predicate and mask paths.
+func BenchmarkDegreesWithin(b *testing.B) {
+	g := randomGraph(3, 20000, 400000)
+	mask := make([]bool, g.NumVertices())
+	for v := range mask {
+		mask[v] = v%4 != 0
+	}
+	b.Run("predicate", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.DegreesWithin(func(v Vertex) bool { return mask[v] })
+		}
+	})
+	b.Run("mask", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.DegreesWithinMask(mask)
+		}
+	})
+	b.Run("mask-into", func(b *testing.B) {
+		dst := make([]int, g.NumVertices())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.DegreesWithinMaskInto(dst, mask)
+		}
+	})
+}
+
 // randomGraph builds a random graph for property tests.
 func randomGraph(seed uint64, n, m int) *Graph {
 	src := rng.New(seed)

@@ -123,6 +123,7 @@ func Distributed(g *graph.Graph, seed uint64) (*DistributedResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer cluster.Close()
 
 	matched := make([]bool, n)
 	// proposals[v] holds, during a round pair, the neighbor v proposed to.
@@ -146,16 +147,28 @@ func Distributed(g *graph.Graph, seed uint64) (*DistributedResult, error) {
 			if matched[v] || !heads(v) {
 				return nil
 			}
-			var candidates []graph.Vertex
+			// Pick a uniform unmatched neighbor without materializing the
+			// candidate list: count, draw an index, then walk to it.
+			candidates := 0
 			for _, u := range g.Neighbors(v) {
 				if !matched[u] {
-					candidates = append(candidates, u)
+					candidates++
 				}
 			}
-			if len(candidates) == 0 {
+			if candidates == 0 {
 				return nil
 			}
-			pick := candidates[rng.ChooseAt(seed, len(candidates), 'M', uint64(round), uint64(v))]
+			k := rng.ChooseAt(seed, candidates, 'M', uint64(round), uint64(v))
+			pick := graph.Vertex(-1)
+			for _, u := range g.Neighbors(v) {
+				if !matched[u] {
+					if k == 0 {
+						pick = u
+						break
+					}
+					k--
+				}
+			}
 			proposals[v] = pick
 			return mach.Send(int(pick), []uint64{uint64(uint32(v))})
 		})

@@ -27,6 +27,16 @@ func AppendEdgeRecord(buf []uint64, u, v int32, weight float64) []uint64 {
 	return append(buf, uint64(uint32(u)), uint64(uint32(v)), PutFloat(weight))
 }
 
+// SetEdgeRecord writes (u, v, weight) at record index i of a pre-sized
+// buffer (the in-place counterpart of AppendEdgeRecord, for arena-backed
+// message buffers obtained from Machine.Alloc).
+func SetEdgeRecord(buf []uint64, i int, u, v int32, weight float64) {
+	o := i * EdgeRecordWords
+	buf[o] = uint64(uint32(u))
+	buf[o+1] = uint64(uint32(v))
+	buf[o+2] = PutFloat(weight)
+}
+
 // DecodeEdgeRecord reads the record at offset i*EdgeRecordWords.
 func DecodeEdgeRecord(buf []uint64, i int) (u, v int32, weight float64) {
 	o := i * EdgeRecordWords
@@ -39,6 +49,13 @@ const VertexRecordWords = 2
 // AppendVertexRecord appends (v, value) to buf.
 func AppendVertexRecord(buf []uint64, v int32, value float64) []uint64 {
 	return append(buf, uint64(uint32(v)), PutFloat(value))
+}
+
+// SetVertexRecord writes (v, value) at record index i of a pre-sized buffer.
+func SetVertexRecord(buf []uint64, i int, v int32, value float64) {
+	o := i * VertexRecordWords
+	buf[o] = uint64(uint32(v))
+	buf[o+1] = PutFloat(value)
 }
 
 // DecodeVertexRecord reads the record at offset i*VertexRecordWords.
@@ -54,6 +71,14 @@ const ResultRecordWords = 2
 // AppendResultRecord appends (v, freezeIter) to buf.
 func AppendResultRecord(buf []uint64, v int32, freezeIter int) []uint64 {
 	return append(buf, uint64(uint32(v)), uint64(int64(freezeIter)))
+}
+
+// SetResultRecord writes (v, freezeIter) at record index i of a pre-sized
+// buffer.
+func SetResultRecord(buf []uint64, i int, v int32, freezeIter int) {
+	o := i * ResultRecordWords
+	buf[o] = uint64(uint32(v))
+	buf[o+1] = uint64(int64(freezeIter))
 }
 
 // DecodeResultRecord reads the record at offset i*ResultRecordWords.

@@ -12,20 +12,30 @@
 // The simulator enforces all three mechanically and records the metrics the
 // paper's analysis speaks about (rounds, maximum machine load, total
 // communication). Machine-local computation executes concurrently on real
-// OS threads — one goroutine per machine, bounded by a worker pool — which
-// is what makes the repository's larger experiments tractable.
+// OS threads — a persistent worker pool bounded by Config.Parallelism —
+// which is what makes the repository's larger experiments tractable.
 //
 // A congested-clique mode (per Section 1.3's [BDH18] equivalence) adds the
 // stricter constraint of that model: per round, each ordered pair of
 // machines may exchange at most PairWords words (O(log n) bits ≈ O(1)
 // words per pair).
+//
+// # Message plane
+//
+// Communication is arena-backed and allocation-free at steady state: Send
+// copies the payload into the sender's reusable outgoing arena and records a
+// compact (to, offset, length) envelope; route() delivers by a counting sort
+// over senders into per-machine inbox arenas that are recycled across
+// rounds, with the word copies parallelized across the worker pool (each
+// destination's inbox is assembled by exactly one worker). Delivery order is
+// deterministic — by (sender id, send order) — regardless of scheduling.
+// Inbox views are valid only until the next Round; see Machine.Inbox.
 package mpc
 
 import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 )
 
@@ -59,55 +69,136 @@ type Metrics struct {
 }
 
 // Message is a routed unit of communication. Data is counted word-for-word
-// against the sender's and receiver's budgets.
+// against the sender's and receiver's budgets. Messages obtained from
+// Machine.Inbox alias cluster-internal arenas: they are valid only until the
+// next Round and must not be modified or retained.
 type Message struct {
 	From, To int
 	Data     []uint64
 }
 
+// outEnv is a staged outgoing message: `n` words at `off` in the sender's
+// outgoing arena, addressed to machine `to`.
+type outEnv struct {
+	to  int32
+	off int64
+	n   int64
+}
+
+// copyTask is one inbox-assembly work item produced by the counting sort:
+// copy `n` words from machine `from`'s outgoing arena at srcOff into the
+// destination's inbox arena at dstOff. Tasks are grouped contiguously by
+// destination so each destination is assembled by exactly one worker.
+type copyTask struct {
+	srcOff int64
+	dstOff int64
+	n      int64
+	from   int32
+}
+
 // Machine is the per-machine handle visible to a StepFunc. Its methods must
 // only be called from within the step executing on this machine.
 type Machine struct {
-	id       int
-	cluster  *Cluster
-	inbox    []Message
-	outbox   []Message
+	id      int
+	cluster *Cluster
+	// inbox/inArena hold this round's delivered messages; both are recycled
+	// across rounds (inbox Data fields alias inArena).
+	inbox   []Message
+	inArena []uint64
+	// outEnv/outArena stage this round's sends, recycled across rounds.
+	outEnv   []outEnv
+	outArena []uint64
 	sent     int64
 	resident int64
+	// maxResident is this machine's lifetime high-water mark. It is only
+	// written by the machine's own step (no lock needed) and merged into
+	// Metrics.MaxResidentWords at the round barrier.
+	maxResident int64
 }
 
 // ID returns the machine's index in [0, M).
 func (m *Machine) ID() int { return m.id }
 
-// Inbox returns the messages delivered at the start of this round, ordered
-// by (sender, send order) — a deterministic order regardless of scheduling.
+// Inbox returns a view of the messages delivered at the start of this round,
+// ordered by (sender, send order) — a deterministic order regardless of
+// scheduling. The view and the Data slices of its messages alias recycled
+// arenas: they are invalidated by the next Round and must not be retained
+// or modified.
 func (m *Machine) Inbox() []Message { return m.inbox }
 
-// Send stages a message of len(data) words to machine `to`. The data slice
-// is retained; callers must not modify it afterwards.
+// Send stages a message of len(data) words to machine `to`. The data is
+// copied into the machine's outgoing arena, so the caller may reuse the
+// slice immediately after Send returns.
 func (m *Machine) Send(to int, data []uint64) error {
 	if to < 0 || to >= m.cluster.cfg.Machines {
 		return fmt.Errorf("mpc: machine %d sending to invalid machine %d", m.id, to)
 	}
-	m.outbox = append(m.outbox, Message{From: m.id, To: to, Data: data})
+	off := int64(len(m.outArena))
+	m.outArena = append(m.outArena, data...)
+	m.outEnv = append(m.outEnv, outEnv{to: int32(to), off: off, n: int64(len(data))})
 	m.sent += int64(len(data))
 	return nil
 }
 
+// Reserve pre-grows the machine's outgoing arena so that at least `words`
+// further words can be staged without reallocation. After a Reserve, slices
+// returned by Alloc stay valid for the rest of the round as long as the
+// total staged volume stays within the reservation. Reserve itself does not
+// stage anything and does not count against the send budget.
+func (m *Machine) Reserve(words int64) {
+	need := int64(len(m.outArena)) + words
+	if int64(cap(m.outArena)) >= need {
+		return
+	}
+	newCap := 2 * int64(cap(m.outArena))
+	if newCap < need {
+		newCap = need
+	}
+	na := make([]uint64, len(m.outArena), newCap)
+	copy(na, m.outArena)
+	m.outArena = na
+}
+
+// Alloc stages an outgoing message of exactly n zeroed words to machine `to`
+// and returns the arena-backed buffer for the caller to fill in place before
+// the step returns — the zero-copy alternative to Send. Growing the arena
+// may move it, which invalidates buffers returned by earlier Alloc calls in
+// the same round; callers staging several messages should Reserve the total
+// volume first (after which Alloc never reallocates within the round).
+func (m *Machine) Alloc(to int, n int) ([]uint64, error) {
+	if to < 0 || to >= m.cluster.cfg.Machines {
+		return nil, fmt.Errorf("mpc: machine %d sending to invalid machine %d", m.id, to)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("mpc: machine %d staging negative message size %d", m.id, n)
+	}
+	m.Reserve(int64(n))
+	off := int64(len(m.outArena))
+	need := off + int64(n)
+	m.outArena = m.outArena[:need]
+	buf := m.outArena[off:need:need]
+	for i := range buf {
+		buf[i] = 0
+	}
+	m.outEnv = append(m.outEnv, outEnv{to: int32(to), off: off, n: int64(n)})
+	m.sent += int64(n)
+	return buf, nil
+}
+
 // Charge registers words of resident memory on this machine (e.g. when it
 // materializes an induced subgraph). It errors immediately when the budget
-// is exceeded, mirroring an out-of-memory machine.
+// is exceeded, mirroring an out-of-memory machine. The cluster-wide
+// high-water mark is maintained without locking: each machine tracks its own
+// maximum, merged into Metrics at the round barrier.
 func (m *Machine) Charge(words int64) error {
 	m.resident += words
 	if m.resident > m.cluster.cfg.MemoryWords {
 		return fmt.Errorf("mpc: machine %d resident %d words exceeds budget %d",
 			m.id, m.resident, m.cluster.cfg.MemoryWords)
 	}
-	m.cluster.mu.Lock()
-	if m.resident > m.cluster.metrics.MaxResidentWords {
-		m.cluster.metrics.MaxResidentWords = m.resident
+	if m.resident > m.maxResident {
+		m.maxResident = m.resident
 	}
-	m.cluster.mu.Unlock()
 	return nil
 }
 
@@ -125,15 +216,93 @@ func (m *Machine) Resident() int64 { return m.resident }
 // StepFunc is one machine's work within a round.
 type StepFunc func(m *Machine) error
 
+const (
+	jobStep = iota
+	jobRoute
+)
+
+// job is one unit of work handed to the persistent worker pool: either
+// "execute the step on machine idx" or "assemble the inboxes of destination
+// chunk idx". Jobs are plain values; dispatching them allocates nothing.
+type job struct {
+	c    *Cluster
+	idx  int32
+	kind int8
+}
+
+// worker is the body of a pool goroutine. It deliberately references only
+// the job channel — never the cluster — so an abandoned cluster becomes
+// unreachable, its finalizer closes the channel, and the pool exits.
+func worker(jobs <-chan job) {
+	for j := range jobs {
+		runJob(j)
+	}
+}
+
+// runJob executes one job with the barrier release deferred, so a step that
+// exits via panic or runtime.Goexit (testing.T.Fatalf inside a step) still
+// unblocks the Round instead of deadlocking it.
+func runJob(j job) {
+	defer j.c.wg.Done()
+	switch j.kind {
+	case jobStep:
+		c := j.c
+		c.stepErrs[j.idx] = c.curStep(c.machines[j.idx])
+	case jobRoute:
+		j.c.routeChunk(int(j.idx))
+	}
+}
+
+// poolCloser owns the worker pool's job channel. It is deliberately a
+// separate object outside the Cluster↔Machine reference cycle: finalizers
+// on cycle members are not guaranteed to run, but nothing points from the
+// closer back to the cluster, so when an un-Closed cluster becomes
+// unreachable the closer does too and its finalizer shuts the pool down.
+type poolCloser struct {
+	jobs chan job
+	once sync.Once
+}
+
+func (p *poolCloser) close() {
+	p.once.Do(func() {
+		runtime.SetFinalizer(p, nil)
+		close(p.jobs)
+	})
+}
+
 // Cluster is a simulated MPC cluster.
 type Cluster struct {
 	cfg      Config
 	machines []*Machine
 	metrics  Metrics
-	mu       sync.Mutex // guards metrics updates from Charge during steps
+
+	// Worker pool (persistent; see Close).
+	jobs     chan job
+	pool     *poolCloser
+	workers  int
+	wg       sync.WaitGroup
+	curStep  StepFunc
+	stepErrs []error
+
+	// Routing scratch, allocated once and recycled every round.
+	recvW    []int64    // words inbound per destination this round
+	msgCnt   []int32    // messages inbound per destination this round
+	taskOff  []int32    // per-destination start offset into tasks (len M+1)
+	taskCur  []int32    // fill cursor per destination
+	wordCur  []int64    // inbox-arena word cursor per destination
+	tasks    []copyTask // flat task list, grouped by destination
+	chunkLen int        // destinations per routing chunk this round
+
+	// Congested-clique pair accounting: epoch-stamped per-destination
+	// scratch, reset in O(1) per sender by bumping the epoch.
+	pairW     []int64
+	pairStamp []int64
+	pairEpoch int64
 }
 
-// NewCluster validates the configuration and builds the cluster.
+// NewCluster validates the configuration and builds the cluster. The cluster
+// owns a pool of Parallelism worker goroutines; call Close when done with it
+// (a finalizer reclaims the pool of abandoned clusters as a safety net).
 func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.Machines < 1 {
 		return nil, fmt.Errorf("mpc: need at least 1 machine, got %d", cfg.Machines)
@@ -150,12 +319,41 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.Parallelism < 1 {
 		return nil, fmt.Errorf("mpc: parallelism %d, want >= 1", cfg.Parallelism)
 	}
-	c := &Cluster{cfg: cfg}
-	c.machines = make([]*Machine, cfg.Machines)
+	m := cfg.Machines
+	c := &Cluster{
+		cfg:      cfg,
+		stepErrs: make([]error, m),
+		recvW:    make([]int64, m),
+		msgCnt:   make([]int32, m),
+		taskOff:  make([]int32, m+1),
+		taskCur:  make([]int32, m),
+		wordCur:  make([]int64, m),
+	}
+	if cfg.PairWords > 0 {
+		c.pairW = make([]int64, m)
+		c.pairStamp = make([]int64, m)
+	}
+	c.machines = make([]*Machine, m)
 	for i := range c.machines {
 		c.machines[i] = &Machine{id: i, cluster: c}
 	}
+	c.workers = cfg.Parallelism
+	if c.workers > m {
+		c.workers = m
+	}
+	c.jobs = make(chan job, c.workers)
+	for i := 0; i < c.workers; i++ {
+		go worker(c.jobs)
+	}
+	c.pool = &poolCloser{jobs: c.jobs}
+	runtime.SetFinalizer(c.pool, (*poolCloser).close)
 	return c, nil
+}
+
+// Close releases the cluster's worker pool. It is idempotent and safe to
+// call at any point after the last Round; calling Round after Close panics.
+func (c *Cluster) Close() {
+	c.pool.close()
 }
 
 // Config returns the cluster's configuration.
@@ -171,37 +369,56 @@ func (c *Cluster) Machines() int { return c.cfg.Machines }
 // messages, enforcing the send, receive and (in congested-clique mode)
 // per-pair budgets. Messages become visible in inboxes at the start of the
 // next round. Any machine error aborts the round with a combined error.
+//
+// After the first few rounds of a fixed workload Round reaches steady state
+// and performs no heap allocations: arenas, envelope tables and routing
+// scratch are all recycled.
 func (c *Cluster) Round(step StepFunc) error {
-	errs := make([]error, len(c.machines))
-	sem := make(chan struct{}, c.cfg.Parallelism)
-	var wg sync.WaitGroup
-	for i, m := range c.machines {
-		// Inbox from the previous round is consumed by this step; its memory
-		// stays charged until the step releases or the round ends.
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, m *Machine) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			errs[i] = step(m)
-		}(i, m)
+	c.curStep = step
+	c.wg.Add(len(c.machines))
+	for i := range c.machines {
+		c.jobs <- job{c: c, idx: int32(i), kind: jobStep}
 	}
-	wg.Wait()
-	if err := errors.Join(errs...); err != nil {
+	c.wg.Wait()
+	c.curStep = nil
+	if err := errors.Join(c.stepErrs...); err != nil {
+		for i := range c.stepErrs {
+			c.stepErrs[i] = nil
+		}
+		// The round failed before the barrier, but resident-memory peaks
+		// reached during the failing steps still belong in the metrics
+		// (they are exactly what a memory experiment wants to see).
+		c.mergeResidentPeaks()
 		return err
 	}
 	return c.route()
 }
 
+// mergeResidentPeaks folds each machine's lock-free high-water mark into the
+// cluster metric.
+func (c *Cluster) mergeResidentPeaks() {
+	for _, m := range c.machines {
+		if m.maxResident > c.metrics.MaxResidentWords {
+			c.metrics.MaxResidentWords = m.maxResident
+		}
+	}
+}
+
+// route is the round barrier: it enforces the send/receive/pair budgets,
+// merges per-machine metrics, and delivers every staged message in
+// deterministic (sender, send-order) order via a counting sort over senders.
+// The word copies — the O(total traffic) part — run on the worker pool, one
+// destination per worker.
 func (c *Cluster) route() error {
 	c.metrics.Rounds++
-	recv := make([]int64, len(c.machines))
-	var pair map[[2]int]int64
-	if c.cfg.PairWords > 0 {
-		pair = make(map[[2]int]int64)
+	c.mergeResidentPeaks()
+	machines := c.machines
+	for i := range c.recvW {
+		c.recvW[i] = 0
+		c.msgCnt[i] = 0
 	}
-	inboxes := make([][]Message, len(c.machines))
-	for _, m := range c.machines {
+	totalMsgs := 0
+	for _, m := range machines {
 		if m.sent > c.cfg.MemoryWords {
 			return fmt.Errorf("mpc: machine %d sent %d words in one round, budget %d",
 				m.id, m.sent, c.cfg.MemoryWords)
@@ -209,39 +426,125 @@ func (c *Cluster) route() error {
 		if m.sent > c.metrics.MaxSentWords {
 			c.metrics.MaxSentWords = m.sent
 		}
-		for _, msg := range m.outbox {
-			words := int64(len(msg.Data))
-			recv[msg.To] += words
-			c.metrics.TotalWords += words
-			c.metrics.TotalMessages++
-			if pair != nil {
-				key := [2]int{msg.From, msg.To}
-				pair[key] += words
-				if pair[key] > c.cfg.PairWords {
+		if c.cfg.PairWords > 0 {
+			c.pairEpoch++
+			for i := range m.outEnv {
+				env := &m.outEnv[i]
+				if c.pairStamp[env.to] != c.pairEpoch {
+					c.pairStamp[env.to] = c.pairEpoch
+					c.pairW[env.to] = 0
+				}
+				c.pairW[env.to] += env.n
+				if c.pairW[env.to] > c.cfg.PairWords {
 					return fmt.Errorf("mpc: congested clique: pair (%d→%d) exchanged %d words in one round, cap %d",
-						msg.From, msg.To, pair[key], c.cfg.PairWords)
+						m.id, env.to, c.pairW[env.to], c.cfg.PairWords)
 				}
 			}
-			inboxes[msg.To] = append(inboxes[msg.To], msg)
+		}
+		for i := range m.outEnv {
+			env := &m.outEnv[i]
+			c.recvW[env.to] += env.n
+			c.msgCnt[env.to]++
+			c.metrics.TotalWords += env.n
+			c.metrics.TotalMessages++
+		}
+		totalMsgs += len(m.outEnv)
+	}
+
+	// Size the inbox arenas and views (recycled across rounds) and lay out
+	// the per-destination task ranges.
+	c.taskOff[0] = 0
+	for d, m := range machines {
+		if c.recvW[d] > c.cfg.MemoryWords {
+			return fmt.Errorf("mpc: machine %d received %d words in one round, budget %d",
+				d, c.recvW[d], c.cfg.MemoryWords)
+		}
+		if c.recvW[d] > c.metrics.MaxRecvWords {
+			c.metrics.MaxRecvWords = c.recvW[d]
+		}
+		m.inArena = grow(m.inArena, int(c.recvW[d]))
+		m.inbox = grow(m.inbox, int(c.msgCnt[d]))
+		c.taskOff[d+1] = c.taskOff[d] + c.msgCnt[d]
+		c.taskCur[d] = c.taskOff[d]
+		c.wordCur[d] = 0
+	}
+	c.tasks = grow(c.tasks, totalMsgs)
+
+	// Counting-sort fill: senders in id order, envelopes in send order, so
+	// each destination's task range is already in delivery order.
+	for _, m := range machines {
+		for i := range m.outEnv {
+			env := &m.outEnv[i]
+			t := c.taskCur[env.to]
+			c.taskCur[env.to] = t + 1
+			c.tasks[t] = copyTask{from: int32(m.id), srcOff: env.off, dstOff: c.wordCur[env.to], n: env.n}
+			c.wordCur[env.to] += env.n
 		}
 	}
-	for i, m := range c.machines {
-		if recv[i] > c.cfg.MemoryWords {
-			return fmt.Errorf("mpc: machine %d received %d words in one round, budget %d",
-				i, recv[i], c.cfg.MemoryWords)
+
+	// Assemble inboxes. Each destination is owned by exactly one chunk, so
+	// workers write disjoint arenas.
+	if c.workers > 1 && len(machines) > 1 && totalMsgs >= 64 {
+		chunks := c.workers
+		if chunks > len(machines) {
+			chunks = len(machines)
 		}
-		if recv[i] > c.metrics.MaxRecvWords {
-			c.metrics.MaxRecvWords = recv[i]
+		c.chunkLen = (len(machines) + chunks - 1) / chunks
+		c.wg.Add(chunks)
+		for k := 0; k < chunks; k++ {
+			c.jobs <- job{c: c, idx: int32(k), kind: jobRoute}
 		}
-		// Deterministic delivery order: by sender, then send order (stable).
-		sort.SliceStable(inboxes[i], func(a, b int) bool {
-			return inboxes[i][a].From < inboxes[i][b].From
-		})
-		m.inbox = inboxes[i]
-		m.outbox = nil
+		c.wg.Wait()
+	} else {
+		for d := range machines {
+			c.deliver(d)
+		}
+	}
+
+	for _, m := range machines {
+		m.outEnv = m.outEnv[:0]
+		m.outArena = m.outArena[:0]
 		m.sent = 0
 	}
 	return nil
+}
+
+// routeChunk assembles the inboxes of one contiguous chunk of destinations.
+func (c *Cluster) routeChunk(k int) {
+	lo := k * c.chunkLen
+	hi := lo + c.chunkLen
+	if hi > len(c.machines) {
+		hi = len(c.machines)
+	}
+	for d := lo; d < hi; d++ {
+		c.deliver(d)
+	}
+}
+
+// deliver copies destination d's messages into its inbox arena and writes
+// the inbox view, in (sender, send-order) order.
+func (c *Cluster) deliver(d int) {
+	m := c.machines[d]
+	tasks := c.tasks[c.taskOff[d]:c.taskOff[d+1]]
+	for k := range tasks {
+		t := &tasks[k]
+		data := m.inArena[t.dstOff : t.dstOff+t.n : t.dstOff+t.n]
+		copy(data, c.machines[t.from].outArena[t.srcOff:t.srcOff+t.n])
+		m.inbox[k] = Message{From: int(t.from), To: d, Data: data}
+	}
+}
+
+// grow resizes s to n elements without preserving contents, reusing
+// capacity and doubling on growth.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	newCap := 2 * cap(s)
+	if newCap < n {
+		newCap = n
+	}
+	return make([]T, n, newCap)
 }
 
 // AccountRounds adds k rounds to the metrics without executing steps. The
@@ -258,7 +561,7 @@ func (c *Cluster) AccountRounds(k int) {
 
 // ResetResident zeroes every machine's resident memory, for algorithms that
 // rebuild machine state from scratch each phase (the partition is fresh per
-// phase in Algorithm 2).
+// phase in Algorithm 2). The high-water metric is unaffected.
 func (c *Cluster) ResetResident() {
 	for _, m := range c.machines {
 		m.resident = 0

@@ -1,6 +1,10 @@
 package mpc
 
 import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -303,6 +307,172 @@ func TestDeterministicInboxOrder(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	c := newTestCluster(t, Config{Machines: 2, MemoryWords: 10})
+	if err := c.Round(func(m *Machine) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c.Close() // second Close must be a no-op
+}
+
+// TestRoundSteadyStateZeroAllocs pins the message plane's allocation budget:
+// after warm-up on a fixed workload, a full Round — step execution, budget
+// enforcement, counting-sort routing, inbox assembly — performs zero heap
+// allocations. Arenas, envelope tables and routing scratch must all recycle.
+func TestRoundSteadyStateZeroAllocs(t *testing.T) {
+	const machines = 8
+	c := newTestCluster(t, Config{Machines: machines, MemoryWords: 4096, Parallelism: 4})
+	defer c.Close()
+	// Fixed workload: every machine sends two multi-word payloads.
+	payloads := make([][]uint64, machines)
+	for i := range payloads {
+		payloads[i] = make([]uint64, 16+i)
+		for k := range payloads[i] {
+			payloads[i][k] = uint64(i*100 + k)
+		}
+	}
+	step := StepFunc(func(m *Machine) error {
+		if err := m.Send((m.ID()+1)%machines, payloads[m.ID()]); err != nil {
+			return err
+		}
+		return m.Send((m.ID()+3)%machines, payloads[m.ID()])
+	})
+	for i := 0; i < 5; i++ { // warm-up: grow arenas to steady state
+		if err := c.Round(step); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if err := c.Round(step); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Round allocates %v times per round, want 0", avg)
+	}
+}
+
+// TestInboxMatchesReferenceDeliveryOrder replays a pseudo-random traffic
+// matrix against an in-test reference model of the pre-arena delivery
+// semantics (append per destination in sender-id order, then a stable sort
+// by sender — i.e. (sender, send-order)) and asserts the inbox contents are
+// byte-identical, message by message.
+func TestInboxMatchesReferenceDeliveryOrder(t *testing.T) {
+	const machines = 13
+	rng := rand.New(rand.NewSource(42))
+	c := newTestCluster(t, Config{Machines: machines, MemoryWords: 1 << 16})
+	defer c.Close()
+	for round := 0; round < 6; round++ {
+		// Script this round's sends: traffic[sender] is a list of (to, data).
+		type send struct {
+			to   int
+			data []uint64
+		}
+		traffic := make([][]send, machines)
+		for s := 0; s < machines; s++ {
+			for k := rng.Intn(8); k > 0; k-- {
+				data := make([]uint64, 1+rng.Intn(5))
+				for i := range data {
+					data[i] = rng.Uint64()
+				}
+				traffic[s] = append(traffic[s], send{to: rng.Intn(machines), data: data})
+			}
+		}
+		// Reference inboxes: gather in sender-id order, stable-sort by From
+		// (the exact delivery rule of the pre-arena route implementation).
+		ref := make([][]Message, machines)
+		for s := 0; s < machines; s++ {
+			for _, sd := range traffic[s] {
+				ref[sd.to] = append(ref[sd.to], Message{From: s, To: sd.to, Data: sd.data})
+			}
+		}
+		for d := range ref {
+			sort.SliceStable(ref[d], func(a, b int) bool { return ref[d][a].From < ref[d][b].From })
+		}
+		err := c.Round(func(m *Machine) error {
+			for _, sd := range traffic[m.ID()] {
+				if err := m.Send(sd.to, sd.data); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = c.Round(func(m *Machine) error {
+			in := m.Inbox()
+			want := ref[m.ID()]
+			if len(in) != len(want) {
+				t.Errorf("round %d machine %d: %d messages, want %d", round, m.ID(), len(in), len(want))
+				return nil
+			}
+			for i := range in {
+				if in[i].From != want[i].From || in[i].To != want[i].To ||
+					!bytes.Equal(wordBytes(in[i].Data), wordBytes(want[i].Data)) {
+					t.Errorf("round %d machine %d message %d: got from=%d %v, want from=%d %v",
+						round, m.ID(), i, in[i].From, in[i].Data, want[i].From, want[i].Data)
+				}
+			}
+			// Absorb this round's deliveries so the next scripted round
+			// starts from empty inboxes.
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func wordBytes(words []uint64) []byte {
+	out := make([]byte, 8*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(out[8*i:], w)
+	}
+	return out
+}
+
+// TestSendCopiesPayload pins the arena-plane ownership contract: the caller
+// may reuse its buffer immediately after Send.
+func TestSendCopiesPayload(t *testing.T) {
+	c := newTestCluster(t, Config{Machines: 2, MemoryWords: 100})
+	defer c.Close()
+	err := c.Round(func(m *Machine) error {
+		if m.ID() != 0 {
+			return nil
+		}
+		buf := []uint64{1, 2, 3}
+		if err := m.Send(1, buf); err != nil {
+			return err
+		}
+		buf[0], buf[1], buf[2] = 9, 9, 9 // must not affect the staged message
+		return m.Send(1, buf)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Round(func(m *Machine) error {
+		if m.ID() != 1 {
+			return nil
+		}
+		in := m.Inbox()
+		if len(in) != 2 {
+			t.Fatalf("inbox size %d, want 2", len(in))
+		}
+		if in[0].Data[0] != 1 || in[0].Data[2] != 3 {
+			t.Errorf("first message mutated after send: %v", in[0].Data)
+		}
+		if in[1].Data[0] != 9 {
+			t.Errorf("second message %v, want 9s", in[1].Data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -197,8 +197,10 @@ func SampleSort(c *mpc.Cluster, locals [][]uint64, samplesPerMachine int) ([][]u
 			}
 			splitters = append(splitters, all[(len(all)*k-1)/m])
 		}
+		// Send copies the payload into the arena, so one splitter buffer
+		// serves every destination.
 		for dst := 0; dst < m; dst++ {
-			if err := mach.Send(dst, append([]uint64(nil), splitters...)); err != nil {
+			if err := mach.Send(dst, splitters); err != nil {
 				return err
 			}
 		}
