@@ -1,11 +1,15 @@
 GO ?= go
 
-.PHONY: all build test bench bench-json lint fmt tables
+.PHONY: all build test bench bench-json lint fmt tables serve
 
 all: lint test
 
 build:
 	$(GO) build ./...
+
+# Run the solve service on :8437 (see README "Solve service").
+serve:
+	$(GO) run ./cmd/mwvc-serve
 
 test:
 	$(GO) test ./...

@@ -59,23 +59,38 @@ func main() {
 		defer cancel()
 	}
 
-	runOne := func(a mwvc.Algorithm, traced bool) {
+	// runOne solves with one algorithm and prints the result line. The
+	// returned error is already user-facing: a deadline surfaces as the clean
+	// "deadline exceeded after N rounds" form (rounds counted live from the
+	// observer stream, since the solve result is lost on abort), never as the
+	// raw wrapped context.DeadlineExceeded.
+	runOne := func(a mwvc.Algorithm, traced bool) error {
+		rounds := 0
+		counter := mwvc.ObserverFunc(func(e mwvc.Event) {
+			if e.Kind == mwvc.KindRound {
+				rounds = e.Round
+			}
+		})
+		obs := mwvc.Observer(counter)
+		if traced {
+			obs = mwvc.MultiObserver(counter, mwvc.ObserverFunc(traceEvent))
+		}
 		opts := []mwvc.Option{
 			mwvc.WithAlgorithm(a),
 			mwvc.WithEpsilon(*eps),
 			mwvc.WithSeed(*seed),
+			mwvc.WithObserver(obs),
 		}
 		if *paper {
 			opts = append(opts, mwvc.WithPaperConstants())
 		}
-		if traced {
-			opts = append(opts, mwvc.WithObserver(mwvc.ObserverFunc(traceEvent)))
-		}
 		start := time.Now()
 		sol, err := mwvc.Solve(ctx, g, opts...)
 		if err != nil {
-			fmt.Printf("%-18s error: %v\n", a, err)
-			return
+			if msg, ok := cli.DeadlineMessage(err, rounds); ok {
+				return fmt.Errorf("%s (-timeout %v)", msg, *timeout)
+			}
+			return err
 		}
 		elapsed := time.Since(start)
 		line := fmt.Sprintf("%-18s weight=%.2f", a, sol.Weight)
@@ -96,9 +111,15 @@ func main() {
 			line += "  (optimal)"
 		}
 		fmt.Printf("%s  [%v]\n", line, elapsed.Round(time.Millisecond))
+		return nil
 	}
 
-	runOne(mwvc.Algorithm(*algo), *trace)
+	// The primary run's error (a blown -timeout, an unknown algorithm) is the
+	// command's outcome: report it cleanly and exit nonzero. Comparison runs
+	// are best-effort — their errors print inline and the sweep continues.
+	if err := runOne(mwvc.Algorithm(*algo), *trace); err != nil {
+		fatal(fmt.Errorf("%s: %w", *algo, err))
+	}
 	if *compare {
 		for _, a := range mwvc.Algorithms() {
 			if string(a) == *algo {
@@ -110,7 +131,9 @@ func main() {
 			if a == mwvc.AlgoCongestedClique && g.NumVertices() > 5000 {
 				continue // one machine per vertex; keep comparisons snappy
 			}
-			runOne(a, false)
+			if err := runOne(a, false); err != nil {
+				fmt.Printf("%-18s error: %v\n", a, err)
+			}
 		}
 	}
 }

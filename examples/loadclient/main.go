@@ -1,0 +1,190 @@
+// Load-driving client for mwvc-serve: uploads a couple of generated graphs
+// once (content addressing makes re-uploads free), then fires a burst of
+// concurrent solve requests across algorithms and seeds, retrying on 429
+// backpressure, and reports latency, cache-hit and error statistics.
+//
+// Run the server, then the client:
+//
+//	go run ./cmd/mwvc-serve &
+//	go run ./examples/loadclient -addr http://localhost:8437 -requests 256 -concurrency 64
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	mwvc "repro"
+)
+
+type graphResponse struct {
+	Graph    string `json:"graph"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+}
+
+type solveResponse struct {
+	ID       string         `json:"id"`
+	Status   string         `json:"status"`
+	Cached   bool           `json:"cached"`
+	Solution *mwvc.Solution `json:"solution"`
+	Error    string         `json:"error"`
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://localhost:8437", "mwvc-serve base URL")
+		requests    = flag.Int("requests", 256, "total solve requests to send")
+		concurrency = flag.Int("concurrency", 64, "concurrent in-flight requests")
+		n           = flag.Int("n", 2000, "vertices per generated instance")
+		d           = flag.Float64("d", 16, "average degree per generated instance")
+		seeds       = flag.Int("seeds", 8, "distinct seeds (lower = more cache hits)")
+	)
+	flag.Parse()
+	if *seeds < 1 {
+		*seeds = 1
+	}
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	// Upload two instances; solve requests refer to them by content hash.
+	var hashes []string
+	for seed := uint64(1); seed <= 2; seed++ {
+		g := mwvc.RandomGraph(seed, *n, *d)
+		var buf bytes.Buffer
+		if err := mwvc.WriteGraph(&buf, g); err != nil {
+			fatal(err)
+		}
+		resp, err := client.Post(*addr+"/v1/graphs", "text/plain", &buf)
+		if err != nil {
+			fatal(err)
+		}
+		var gr graphResponse
+		if err := decode(resp, &gr); err != nil {
+			fatal(fmt.Errorf("upload: %w", err))
+		}
+		fmt.Printf("graph %s: n=%d m=%d\n", gr.Graph[:23]+"…", gr.Vertices, gr.Edges)
+		hashes = append(hashes, gr.Graph)
+	}
+
+	algos := []string{"mpc", "centralized", "bye", "greedy"}
+	var (
+		wg        sync.WaitGroup
+		sem       = make(chan struct{}, *concurrency)
+		mu        sync.Mutex
+		latencies []time.Duration
+		cached    atomic.Int64
+		retries   atomic.Int64
+		failures  atomic.Int64
+	)
+	start := time.Now()
+	for i := 0; i < *requests; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			body, _ := json.Marshal(map[string]any{
+				"graph":     hashes[i%len(hashes)],
+				"algorithm": algos[i%len(algos)],
+				"seed":      i % *seeds,
+			})
+			t0 := time.Now()
+			for {
+				resp, err := client.Post(*addr+"/v1/solve", "application/json", bytes.NewReader(body))
+				if err != nil {
+					failures.Add(1)
+					fmt.Fprintf(os.Stderr, "request %d: %v\n", i, err)
+					return
+				}
+				if resp.StatusCode == http.StatusTooManyRequests {
+					// Backpressure: the queue is full. Back off and retry.
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					retries.Add(1)
+					time.Sleep(50 * time.Millisecond)
+					continue
+				}
+				var sr solveResponse
+				if err := decode(resp, &sr); err != nil {
+					failures.Add(1)
+					fmt.Fprintf(os.Stderr, "request %d: %v\n", i, err)
+					return
+				}
+				if sr.Status != "done" || sr.Solution == nil {
+					failures.Add(1)
+					fmt.Fprintf(os.Stderr, "request %d: status %s error %q\n", i, sr.Status, sr.Error)
+					return
+				}
+				if sr.Cached {
+					cached.Add(1)
+				}
+				mu.Lock()
+				latencies = append(latencies, time.Since(t0))
+				mu.Unlock()
+				return
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	quantile := func(q float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		idx := int(q * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+	ok := len(latencies)
+	fmt.Printf("\n%d requests in %v (%.0f req/s): %d ok, %d failed, %d cache hits, %d backpressure retries\n",
+		*requests, elapsed.Round(time.Millisecond), float64(ok)/elapsed.Seconds(),
+		ok, failures.Load(), cached.Load(), retries.Load())
+	fmt.Printf("latency p50=%v p90=%v p99=%v max=%v\n",
+		quantile(0.50).Round(time.Millisecond), quantile(0.90).Round(time.Millisecond),
+		quantile(0.99).Round(time.Millisecond), quantile(1.0).Round(time.Millisecond))
+
+	// One certified response, decoded through the Solution JSON round-trip:
+	// null certified_ratio (no certificate) comes back as +Inf.
+	body, _ := json.Marshal(map[string]any{"graph": hashes[0], "algorithm": "mpc"})
+	resp, err := client.Post(*addr+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatal(err)
+	}
+	var sr solveResponse
+	if err := decode(resp, &sr); err != nil {
+		fatal(err)
+	}
+	if math.IsInf(sr.Solution.CertifiedRatio, 1) {
+		fmt.Printf("mpc solve: weight=%.1f (no certificate)\n", sr.Solution.Weight)
+	} else {
+		fmt.Printf("mpc solve: weight=%.1f certified ratio=%.3f rounds=%d\n",
+			sr.Solution.Weight, sr.Solution.CertifiedRatio, sr.Solution.Rounds)
+	}
+}
+
+func decode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	return json.Unmarshal(raw, v)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadclient:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,25 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// DeadlineMessage converts a solve error caused by a context deadline into
+// the user-facing "deadline exceeded after N rounds" form shared by the CLI
+// (cmd/mwvc -timeout) and the solve service (per-request deadlines in
+// internal/serve). rounds is the number of communication rounds the solve
+// completed before the deadline hit, as counted from KindRound observer
+// events; sequential algorithms that emit no round events report 0 rounds,
+// which the message words accordingly. ok is false when err is nil or not a
+// deadline error — callers fall through to their generic error path.
+func DeadlineMessage(err error, rounds int) (msg string, ok bool) {
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		return "", false
+	}
+	if rounds == 0 {
+		return "deadline exceeded before the first round completed", true
+	}
+	return fmt.Sprintf("deadline exceeded after %d rounds", rounds), true
+}

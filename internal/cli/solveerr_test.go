@@ -1,0 +1,32 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestDeadlineMessage(t *testing.T) {
+	wrapped := fmt.Errorf("solving: %w", context.DeadlineExceeded)
+	cases := []struct {
+		err    error
+		rounds int
+		want   string
+		ok     bool
+	}{
+		{nil, 3, "", false},
+		{errors.New("boom"), 3, "", false},
+		{context.Canceled, 3, "", false},
+		{context.DeadlineExceeded, 12, "deadline exceeded after 12 rounds", true},
+		{wrapped, 4, "deadline exceeded after 4 rounds", true},
+		{wrapped, 0, "deadline exceeded before the first round completed", true},
+	}
+	for _, tc := range cases {
+		msg, ok := DeadlineMessage(tc.err, tc.rounds)
+		if ok != tc.ok || msg != tc.want {
+			t.Errorf("DeadlineMessage(%v, %d) = (%q, %v), want (%q, %v)",
+				tc.err, tc.rounds, msg, ok, tc.want, tc.ok)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/mpc"
 )
 
 // localInstance is the subproblem one machine simulates in a phase: the
@@ -71,20 +72,6 @@ type simScratch struct {
 	freezeList []int32
 }
 
-// growSlice resizes s to n elements without preserving contents, reusing
-// capacity and doubling on growth (phase working sets shrink over a run, so
-// after the first phase these are plain re-slices).
-func growSlice[T any](s []T, n int) []T {
-	if cap(s) >= n {
-		return s[:n]
-	}
-	newCap := 2 * cap(s)
-	if newCap < n {
-		newCap = n
-	}
-	return make([]T, n, newCap)
-}
-
 // runLocalSim executes Lines (2g i–iii): I iterations of the centralized
 // primal–dual scheme on the local subgraph, with the freeze test replaced by
 // the biased estimator
@@ -110,7 +97,7 @@ func runLocalSim(li *localInstance, machines, iterations int, epsilon, biasCoeff
 	threshold func(v graph.Vertex, t int) float64, sc *simScratch) []int {
 
 	nv := len(li.vertexIDs)
-	sc.freezeIter = growSlice(sc.freezeIter, nv)
+	sc.freezeIter = mpc.Grow(sc.freezeIter, nv)
 	freezeIter := sc.freezeIter
 	for i := range freezeIter {
 		freezeIter[i] = -1
@@ -120,7 +107,7 @@ func runLocalSim(li *localInstance, machines, iterations int, epsilon, biasCoeff
 	}
 
 	// Adjacency over local edges.
-	sc.adjOff = growSlice(sc.adjOff, nv+1)
+	sc.adjOff = mpc.Grow(sc.adjOff, nv+1)
 	adjOff := sc.adjOff
 	for i := range adjOff {
 		adjOff[i] = 0
@@ -132,9 +119,9 @@ func runLocalSim(li *localInstance, machines, iterations int, epsilon, biasCoeff
 	for i := 0; i < nv; i++ {
 		adjOff[i+1] += adjOff[i]
 	}
-	sc.adj = growSlice(sc.adj, len(li.edges)*2)
+	sc.adj = mpc.Grow(sc.adj, len(li.edges)*2)
 	adj := sc.adj
-	sc.cursor = growSlice(sc.cursor, nv)
+	sc.cursor = mpc.Grow(sc.cursor, nv)
 	cursor := sc.cursor
 	copy(cursor, adjOff[:nv])
 	for ei, e := range li.edges {
@@ -152,14 +139,14 @@ func runLocalSim(li *localInstance, machines, iterations int, epsilon, biasCoeff
 	// Incremental incident sums, split into the part that still grows and
 	// the part frozen at its final value (same scheme as the centralized
 	// implementation).
-	sc.x = growSlice(sc.x, len(li.x0))
+	sc.x = mpc.Grow(sc.x, len(li.x0))
 	x := sc.x
 	copy(x, li.x0)
-	sc.edgeActive = growSlice(sc.edgeActive, len(li.edges))
+	sc.edgeActive = mpc.Grow(sc.edgeActive, len(li.edges))
 	edgeActive := sc.edgeActive
-	sc.sumActive = growSlice(sc.sumActive, nv)
+	sc.sumActive = mpc.Grow(sc.sumActive, nv)
 	sumActive := sc.sumActive
-	sc.sumFrozen = growSlice(sc.sumFrozen, nv)
+	sc.sumFrozen = mpc.Grow(sc.sumFrozen, nv)
 	sumFrozen := sc.sumFrozen
 	for i := 0; i < nv; i++ {
 		sumActive[i] = 0
@@ -170,7 +157,7 @@ func runLocalSim(li *localInstance, machines, iterations int, epsilon, biasCoeff
 		sumActive[e[0]] += x[ei]
 		sumActive[e[1]] += x[ei]
 	}
-	sc.active = growSlice(sc.active, nv)
+	sc.active = mpc.Grow(sc.active, nv)
 	active := sc.active
 	for i := range active {
 		active[i] = true

@@ -192,7 +192,7 @@ func ParamsPaper(epsilon float64, seed uint64) Params {
 // Validate checks the parameter set.
 func (p *Params) Validate() error {
 	if p.Epsilon <= 0 || p.Epsilon > 0.125 {
-		return fmt.Errorf("core: epsilon %v out of (0, 0.125]", p.Epsilon)
+		return fmt.Errorf("core: epsilon %v out of (0, 0.125]: %w", p.Epsilon, solver.ErrUnsupported)
 	}
 	if p.HighDegreeExponent <= 0 || p.HighDegreeExponent >= 1 {
 		return fmt.Errorf("core: high-degree exponent %v out of (0, 1)", p.HighDegreeExponent)

@@ -12,6 +12,7 @@ import (
 	"math/bits"
 
 	"repro/internal/graph"
+	"repro/internal/solver"
 )
 
 // MaxVertices is the largest instance Solve accepts.
@@ -24,7 +25,7 @@ const MaxVertices = 64
 func Solve(ctx context.Context, g *graph.Graph) ([]bool, float64, error) {
 	n := g.NumVertices()
 	if n > MaxVertices {
-		return nil, 0, fmt.Errorf("exact: %d vertices exceed the %d-vertex solver limit", n, MaxVertices)
+		return nil, 0, fmt.Errorf("exact: %d vertices exceed the %d-vertex solver limit: %w", n, MaxVertices, solver.ErrUnsupported)
 	}
 	if ctx == nil {
 		ctx = context.Background()

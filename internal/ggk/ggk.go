@@ -71,12 +71,12 @@ func Run(ctx context.Context, g *graph.Graph, cfg solver.Config) (*Result, error
 		ctx = context.Background()
 	}
 	if epsilon <= 0 || epsilon > 0.125 {
-		return nil, fmt.Errorf("ggk: epsilon %v out of (0, 0.125]", epsilon)
+		return nil, fmt.Errorf("ggk: epsilon %v out of (0, 0.125]: %w", epsilon, solver.ErrUnsupported)
 	}
 	n := g.NumVertices()
 	for v := 0; v < n; v++ {
 		if g.Weight(graph.Vertex(v)) != 1 {
-			return nil, fmt.Errorf("ggk: vertex %d has weight %v; the unweighted algorithm requires unit weights", v, g.Weight(graph.Vertex(v)))
+			return nil, fmt.Errorf("ggk: vertex %d has weight %v; the unweighted algorithm requires unit weights: %w", v, g.Weight(graph.Vertex(v)), solver.ErrUnsupported)
 		}
 	}
 	m := g.NumEdges()

@@ -239,18 +239,36 @@ func worker(jobs <-chan job) {
 	}
 }
 
-// runJob executes one job with the barrier release deferred, so a step that
-// exits via panic or runtime.Goexit (testing.T.Fatalf inside a step) still
-// unblocks the Round instead of deadlocking it.
+// errStepAborted marks a step that never returned: it exited via panic or
+// runtime.Goexit (testing.T.Fatalf inside a step). The slot is pre-filled
+// with it and overwritten on normal return, so an aborted step surfaces as
+// a failed round — not as a silent success whose partial messages route.
+var errStepAborted = errors.New("mpc: step aborted before returning (runtime.Goexit or panic)")
+
+// runJob executes one job with cleanup deferred, so a step that exits via
+// panic or runtime.Goexit still unblocks the Round instead of deadlocking
+// it: the barrier is always released, and the abnormal exit both reports
+// errStepAborted for the machine and spawns a replacement worker (Goexit
+// kills the current pool goroutine; without a replacement the next Round
+// would enqueue jobs nothing drains).
 func runJob(j job) {
-	defer j.c.wg.Done()
+	completed := false
+	defer func() {
+		if !completed {
+			go worker(j.c.jobs)
+		}
+		j.c.wg.Done()
+	}()
 	switch j.kind {
 	case jobStep:
 		c := j.c
-		c.stepErrs[j.idx] = c.curStep(c.machines[j.idx])
+		c.stepErrs[j.idx] = errStepAborted
+		err := c.curStep(c.machines[j.idx])
+		c.stepErrs[j.idx] = err
 	case jobRoute:
 		j.c.routeChunk(int(j.idx))
 	}
+	completed = true
 }
 
 // poolCloser owns the worker pool's job channel. It is deliberately a
@@ -389,9 +407,38 @@ func (c *Cluster) Round(step StepFunc) error {
 		// reached during the failing steps still belong in the metrics
 		// (they are exactly what a memory experiment wants to see).
 		c.mergeResidentPeaks()
+		// Messages staged by the aborted round must not survive it: without
+		// this, the next Round would route them as if they had been sent by
+		// its own step, delivering stale envelopes from the failed round.
+		c.clearStaged()
 		return err
 	}
 	return c.route()
+}
+
+// clearOutgoing drops every machine's staged outgoing messages — envelope
+// tables, arena cursors and the per-round sent counter. route() calls it
+// after a successful delivery; the arenas keep their capacity.
+func (c *Cluster) clearOutgoing() {
+	for _, m := range c.machines {
+		m.outEnv = m.outEnv[:0]
+		m.outArena = m.outArena[:0]
+		m.sent = 0
+	}
+}
+
+// clearStaged cleans up after a failed round (step error or budget
+// violation): staged outgoing messages must not survive it — the next Round
+// would deliver stale envelopes from the aborted round — and inboxes are
+// emptied too, because a route() that fails mid-pass has already resized
+// some destinations' inbox views for counts it never delivered. All arenas
+// keep their capacity; only the cursors reset.
+func (c *Cluster) clearStaged() {
+	c.clearOutgoing()
+	for _, m := range c.machines {
+		m.inbox = m.inbox[:0]
+		m.inArena = m.inArena[:0]
+	}
 }
 
 // mergeResidentPeaks folds each machine's lock-free high-water mark into the
@@ -420,6 +467,7 @@ func (c *Cluster) route() error {
 	totalMsgs := 0
 	for _, m := range machines {
 		if m.sent > c.cfg.MemoryWords {
+			c.clearStaged()
 			return fmt.Errorf("mpc: machine %d sent %d words in one round, budget %d",
 				m.id, m.sent, c.cfg.MemoryWords)
 		}
@@ -436,6 +484,7 @@ func (c *Cluster) route() error {
 				}
 				c.pairW[env.to] += env.n
 				if c.pairW[env.to] > c.cfg.PairWords {
+					c.clearStaged()
 					return fmt.Errorf("mpc: congested clique: pair (%d→%d) exchanged %d words in one round, cap %d",
 						m.id, env.to, c.pairW[env.to], c.cfg.PairWords)
 				}
@@ -456,19 +505,20 @@ func (c *Cluster) route() error {
 	c.taskOff[0] = 0
 	for d, m := range machines {
 		if c.recvW[d] > c.cfg.MemoryWords {
+			c.clearStaged()
 			return fmt.Errorf("mpc: machine %d received %d words in one round, budget %d",
 				d, c.recvW[d], c.cfg.MemoryWords)
 		}
 		if c.recvW[d] > c.metrics.MaxRecvWords {
 			c.metrics.MaxRecvWords = c.recvW[d]
 		}
-		m.inArena = grow(m.inArena, int(c.recvW[d]))
-		m.inbox = grow(m.inbox, int(c.msgCnt[d]))
+		m.inArena = Grow(m.inArena, int(c.recvW[d]))
+		m.inbox = Grow(m.inbox, int(c.msgCnt[d]))
 		c.taskOff[d+1] = c.taskOff[d] + c.msgCnt[d]
 		c.taskCur[d] = c.taskOff[d]
 		c.wordCur[d] = 0
 	}
-	c.tasks = grow(c.tasks, totalMsgs)
+	c.tasks = Grow(c.tasks, totalMsgs)
 
 	// Counting-sort fill: senders in id order, envelopes in send order, so
 	// each destination's task range is already in delivery order.
@@ -501,11 +551,7 @@ func (c *Cluster) route() error {
 		}
 	}
 
-	for _, m := range machines {
-		m.outEnv = m.outEnv[:0]
-		m.outArena = m.outArena[:0]
-		m.sent = 0
-	}
+	c.clearOutgoing()
 	return nil
 }
 
@@ -534,9 +580,12 @@ func (c *Cluster) deliver(d int) {
 	}
 }
 
-// grow resizes s to n elements without preserving contents, reusing
-// capacity and doubling on growth.
-func grow[T any](s []T, n int) []T {
+// Grow resizes s to n elements without preserving contents, reusing
+// capacity and doubling on growth — the recycling primitive behind every
+// per-round buffer in the message plane, exported for consumers (e.g.
+// internal/core's per-phase scratch) that follow the same allocate-once,
+// re-slice-forever discipline.
+func Grow[T any](s []T, n int) []T {
 	if cap(s) >= n {
 		return s[:n]
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -270,6 +271,159 @@ func TestStepErrorsCombined(t *testing.T) {
 type machineErr struct{ id int }
 
 func (e *machineErr) Error() string { return "machine " + string(rune('0'+e.id)) + " failed" }
+
+// TestStepGoexitFailsRoundAndKeepsPoolAlive pins the abnormal-exit
+// contract: a step that never returns (runtime.Goexit — what
+// testing.T.Fatalf does inside a step) must fail the round rather than
+// route its partial messages as a success, and must not shrink the worker
+// pool — with Parallelism 1 a lost worker would deadlock every later
+// Round.
+func TestStepGoexitFailsRoundAndKeepsPoolAlive(t *testing.T) {
+	c := newTestCluster(t, Config{Machines: 2, MemoryWords: 100, Parallelism: 1})
+	defer c.Close()
+	err := c.Round(func(m *Machine) error {
+		if m.ID() == 1 {
+			if sendErr := m.Send(0, []uint64{7}); sendErr != nil {
+				return sendErr
+			}
+			runtime.Goexit()
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "aborted") {
+		t.Fatalf("Goexit step not reported as aborted: %v", err)
+	}
+	// The pool survived: later rounds execute, and the aborted round's
+	// staged message was dropped.
+	if err := c.Round(func(m *Machine) error { return nil }); err != nil {
+		t.Fatalf("round after Goexit: %v", err)
+	}
+	err = c.Round(func(m *Machine) error {
+		if n := len(m.Inbox()); n != 0 {
+			t.Errorf("machine %d received %d messages from the aborted round", m.ID(), n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFailedRoundDropsStagedMessages is the regression test for the
+// stale-envelope bug: a round that errors after staging sends must not leave
+// those messages behind — the next round's inboxes reflect only the next
+// round's traffic. Exercised for every error path: step error, send-budget,
+// receive-budget and congested-clique pair-cap violations.
+func TestFailedRoundDropsStagedMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		step StepFunc // the failing round; stages messages then errors
+	}{
+		{
+			name: "step error",
+			cfg:  Config{Machines: 3, MemoryWords: 100},
+			step: func(m *Machine) error {
+				if err := m.Send(0, []uint64{uint64(m.ID()) + 10}); err != nil {
+					return err
+				}
+				if m.ID() == 2 {
+					return &machineErr{m.ID()}
+				}
+				return nil
+			},
+		},
+		{
+			name: "send budget",
+			cfg:  Config{Machines: 3, MemoryWords: 4},
+			step: func(m *Machine) error {
+				if m.ID() == 2 {
+					return m.Send(0, make([]uint64, 5)) // 5 > 4: route rejects
+				}
+				return m.Send(0, []uint64{uint64(m.ID()) + 10})
+			},
+		},
+		{
+			name: "receive budget",
+			cfg:  Config{Machines: 3, MemoryWords: 4},
+			step: func(m *Machine) error {
+				if m.ID() != 0 {
+					return m.Send(0, make([]uint64, 3)) // 6 > 4 at machine 0
+				}
+				return nil
+			},
+		},
+		{
+			name: "pair cap",
+			cfg:  Config{Machines: 3, MemoryWords: 100, PairWords: 1},
+			step: func(m *Machine) error {
+				if m.ID() == 2 {
+					if err := m.Send(0, []uint64{1}); err != nil {
+						return err
+					}
+					return m.Send(0, []uint64{2}) // 2 words on pair (2→0), cap 1
+				}
+				return m.Send(0, []uint64{uint64(m.ID()) + 10})
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newTestCluster(t, tc.cfg)
+			defer c.Close()
+			if err := c.Round(tc.step); err == nil {
+				t.Fatal("failing round reported no error")
+			}
+			// Recovery round: nobody sends. Before the fix, the messages
+			// staged into the aborted round's out-arenas were still routed
+			// here and delivered in the round after. The inbox must already
+			// be empty in this round too: a mid-pass route() failure had
+			// resized some inbox views for counts it never delivered, so a
+			// step here would otherwise read unfilled (nil-Data) messages.
+			err := c.Round(func(m *Machine) error {
+				if n := len(m.Inbox()); n != 0 {
+					t.Errorf("machine %d inbox not cleared by failed round: %d messages", m.ID(), n)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("recovery round: %v", err)
+			}
+			err = c.Round(func(m *Machine) error {
+				if n := len(m.Inbox()); n != 0 {
+					t.Errorf("machine %d inbox has %d stale messages: %v", m.ID(), n, m.Inbox())
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("inspection round: %v", err)
+			}
+			// The cluster stays usable: fresh traffic routes normally.
+			if err := c.Round(func(m *Machine) error { return m.Send(0, []uint64{uint64(m.ID()) + 100}) }); err != nil {
+				t.Fatalf("post-recovery send round: %v", err)
+			}
+			err = c.Round(func(m *Machine) error {
+				if m.ID() != 0 {
+					return nil
+				}
+				in := m.Inbox()
+				if len(in) != c.Machines() {
+					t.Errorf("inbox size %d, want %d", len(in), c.Machines())
+					return nil
+				}
+				for i, msg := range in {
+					if msg.From != i || msg.Data[0] != uint64(i)+100 {
+						t.Errorf("inbox[%d] = from %d data %v", i, msg.From, msg.Data)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("post-recovery inspection round: %v", err)
+			}
+		})
+	}
+}
 
 func TestDeterministicInboxOrder(t *testing.T) {
 	// Many senders to one receiver: inbox must be ordered by sender id and,

@@ -1,0 +1,694 @@
+// Package serve is the solve-as-a-service engine: a bounded worker pool
+// pulling solve requests off a FIFO queue, fronted by a content-addressed
+// graph store and a solution cache, with per-request deadlines, live
+// round-by-round traces and aggregate metrics fed from the solver's
+// Observer event stream.
+//
+// The engine is transport-agnostic; http.go exposes it over HTTP and
+// cmd/mwvc-serve is the binary. The division of labor with the facade is
+// strict: the engine never reimplements solving — every request goes through
+// mwvc.Solve (registry dispatch, cover verification, certificate checking),
+// which is safe for concurrent use; the engine adds admission control
+// (backpressure via ErrQueueFull), resource partitioning (Workers ×
+// SolverParallelism ≈ GOMAXPROCS) and result reuse (the cache keyed by
+// graph hash + solve parameters — solves are deterministic given a seed, so
+// a cached solution is indistinguishable from a fresh one).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	mwvc "repro"
+	"repro/internal/cli"
+	"repro/internal/solver"
+)
+
+// Config sizes the engine. The zero value is usable: every field has a
+// default chosen so a fresh engine saturates the machine without
+// oversubscribing it.
+type Config struct {
+	// Workers is the number of solve workers — the maximum number of solves
+	// in flight at once. Default: GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the FIFO request queue; a Submit beyond it fails
+	// fast with ErrQueueFull (HTTP 429) instead of queueing unboundedly.
+	// Default: 4 × Workers.
+	QueueDepth int
+	// SolverParallelism is the WithParallelism passed to each solve, so that
+	// Workers concurrent solves share the machine instead of each grabbing
+	// GOMAXPROCS worth of simulated machines. Default: GOMAXPROCS/Workers,
+	// at least 1.
+	SolverParallelism int
+	// DefaultTimeout applies to requests that specify no deadline (default
+	// 60s); MaxTimeout caps what a request may ask for (default 10m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxGraphs caps the graph store (see NewGraphStore; default 1024).
+	MaxGraphs int
+	// MaxTraceEvents bounds the per-request trace buffer; events beyond it
+	// are counted but not retained (default 65536).
+	MaxTraceEvents int
+	// MaxCacheEntries bounds the solution cache; when full an arbitrary
+	// entry is evicted to admit the new one (default 4096).
+	MaxCacheEntries int
+	// RetainRequests bounds how many finished requests stay addressable for
+	// GET /v1/solve/{id} after completion (default 1024, FIFO eviction).
+	RetainRequests int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.SolverParallelism <= 0 {
+		c.SolverParallelism = runtime.GOMAXPROCS(0) / c.Workers
+		if c.SolverParallelism < 1 {
+			c.SolverParallelism = 1
+		}
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.MaxTraceEvents <= 0 {
+		c.MaxTraceEvents = 65536
+	}
+	if c.MaxCacheEntries <= 0 {
+		c.MaxCacheEntries = 4096
+	}
+	if c.MaxGraphs <= 0 {
+		c.MaxGraphs = 1024
+	}
+	if c.RetainRequests <= 0 {
+		c.RetainRequests = 1024
+	}
+	return c
+}
+
+// SolveParams identifies one solve: the graph (by content hash) plus the
+// parameters that determine the solver's output. Together with the
+// determinism of seeded solves, that makes the tuple a complete cache key.
+type SolveParams struct {
+	GraphHash      string
+	Algorithm      string
+	Epsilon        float64
+	Seed           uint64
+	PaperConstants bool
+	// Timeout is the per-request deadline; 0 means the engine default, and
+	// values above Config.MaxTimeout are clamped to it. The clock starts at
+	// admission, so time spent waiting in the queue counts against it — a
+	// request with a 1s deadline cannot silently block for minutes behind a
+	// deep queue. The deadline is not part of the cache key: a cached
+	// solution satisfies any deadline.
+	Timeout time.Duration
+}
+
+type cacheKey struct {
+	hash  string
+	algo  string
+	eps   float64
+	seed  uint64
+	paper bool
+}
+
+// Status is a request's lifecycle state.
+type Status string
+
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Engine errors surfaced by Submit.
+var (
+	ErrQueueFull    = errors.New("serve: solve queue full")
+	ErrUnknownGraph = errors.New("serve: unknown graph hash")
+	ErrClosed       = errors.New("serve: engine closed")
+)
+
+// Request is one admitted solve. Its exported methods are safe for
+// concurrent use; the HTTP layer, trace subscribers and the solving worker
+// all hold the same *Request.
+type Request struct {
+	ID     string
+	Params SolveParams
+
+	engine *Engine
+	done   chan struct{}
+
+	// deadline is the absolute per-request deadline, fixed at admission
+	// (queuedAt + Params.Timeout); immutable after Submit.
+	deadline time.Time
+
+	mu        sync.Mutex
+	cached    bool
+	status    Status
+	sol       *mwvc.Solution
+	coverSize int
+	err       error
+	errMsg    string
+	rounds    int
+	events    []mwvc.Event
+	dropped   int
+	subs      []chan mwvc.Event
+	queuedAt  time.Time
+	startedAt time.Time
+	doneAt    time.Time
+}
+
+// Status returns the request's current lifecycle state.
+func (r *Request) Status() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status
+}
+
+// IsCached reports that the request was answered from the solution cache —
+// either at admission or at dequeue (a duplicate whose twin finished while
+// this request waited in the queue) — without running the solver.
+func (r *Request) IsCached() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cached
+}
+
+// Wait blocks until the request finishes or ctx is done. A ctx error
+// abandons the wait, not the solve: the request keeps running and its
+// result still lands in the cache.
+func (r *Request) Wait(ctx context.Context) error {
+	select {
+	case <-r.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Result returns the solution or error of a finished request (nil, nil
+// while it is still queued or running).
+func (r *Request) Result() (*mwvc.Solution, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sol, r.err
+}
+
+// ErrorMessage is the user-facing failure description: the unified
+// "deadline exceeded after N rounds" form for deadline errors (shared with
+// cmd/mwvc -timeout via internal/cli), the raw error otherwise, "" on
+// success.
+func (r *Request) ErrorMessage() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.errMsg
+}
+
+// Rounds returns the number of communication rounds observed so far — live
+// while running, final after completion (for cached requests, the cached
+// solution's round count).
+func (r *Request) Rounds() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rounds
+}
+
+// CoverSize returns the cardinality of the finished request's cover (0
+// while unfinished), computed once at completion.
+func (r *Request) CoverSize() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.coverSize
+}
+
+// TraceDropped returns how many observer events were discarded beyond the
+// MaxTraceEvents trace-buffer cap — nonzero means replayed traces are
+// truncated (live subscribers may additionally drop on their own buffers).
+func (r *Request) TraceDropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Snapshot is a consistent point-in-time view of a request's mutable state,
+// taken under one lock. Renderers must use it instead of stitching together
+// individual accessors — a request can finish between two accessor calls,
+// producing contradictory output (status "running" with a solution
+// attached).
+type Snapshot struct {
+	Status       Status
+	Cached       bool
+	Sol          *mwvc.Solution
+	Err          error
+	ErrMsg       string
+	Rounds       int
+	CoverSize    int
+	TraceDropped int
+	QueuedAt     time.Time
+	StartedAt    time.Time
+	DoneAt       time.Time
+}
+
+// Snapshot returns an atomic view of the request's state.
+func (r *Request) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Snapshot{
+		Status:       r.status,
+		Cached:       r.cached,
+		Sol:          r.sol,
+		Err:          r.err,
+		ErrMsg:       r.errMsg,
+		Rounds:       r.rounds,
+		CoverSize:    r.coverSize,
+		TraceDropped: r.dropped,
+		QueuedAt:     r.queuedAt,
+		StartedAt:    r.startedAt,
+		DoneAt:       r.doneAt,
+	}
+}
+
+func coverSize(sol *mwvc.Solution) int {
+	n := 0
+	for _, in := range sol.Cover {
+		if in {
+			n++
+		}
+	}
+	return n
+}
+
+// Times returns when the request was queued, started and finished (zero
+// values for stages not reached).
+func (r *Request) Times() (queued, started, done time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.queuedAt, r.startedAt, r.doneAt
+}
+
+// Subscribe returns the trace so far plus a live channel of subsequent
+// events; the channel is closed when the request finishes (immediately for
+// an already-finished request). Slow subscribers do not block the solve:
+// events beyond the channel's buffer are dropped. Call the returned cancel
+// function when done reading.
+func (r *Request) Subscribe(buffer int) (past []mwvc.Event, live <-chan mwvc.Event, cancel func()) {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	ch := make(chan mwvc.Event, buffer)
+	r.mu.Lock()
+	past = append([]mwvc.Event(nil), r.events...)
+	finished := r.status == StatusDone || r.status == StatusFailed
+	if finished {
+		close(ch)
+	} else {
+		r.subs = append(r.subs, ch)
+	}
+	r.mu.Unlock()
+	return past, ch, func() { r.unsubscribe(ch) }
+}
+
+func (r *Request) unsubscribe(ch chan mwvc.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, s := range r.subs {
+		if s == ch {
+			r.subs = append(r.subs[:i], r.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// observe is the request's Observer: it feeds the trace buffer, the live
+// subscribers and the engine's aggregate metrics. It runs synchronously on
+// the solving worker's goroutine.
+func (r *Request) observe(e mwvc.Event) {
+	r.mu.Lock()
+	if e.Kind == mwvc.KindRound {
+		r.rounds = e.Round
+	}
+	if len(r.events) < r.engine.cfg.MaxTraceEvents {
+		r.events = append(r.events, e)
+	} else {
+		r.dropped++
+	}
+	for _, ch := range r.subs {
+		select {
+		case ch <- e:
+		default: // slow subscriber: drop rather than stall the solve
+		}
+	}
+	r.mu.Unlock()
+	r.engine.met.eventsTotal.Add(1)
+	if e.Kind == mwvc.KindRound {
+		r.engine.met.roundsTotal.Add(1)
+	}
+}
+
+// finish records the outcome, closes subscriber channels and releases
+// waiters. The cover cardinality is computed once here, not on every
+// status poll.
+func (r *Request) finish(sol *mwvc.Solution, err error, errMsg string) {
+	r.mu.Lock()
+	r.sol = sol
+	r.err = err
+	r.errMsg = errMsg
+	if err == nil {
+		r.status = StatusDone
+		if sol != nil && sol.Rounds > 0 {
+			r.rounds = sol.Rounds
+		}
+	} else {
+		r.status = StatusFailed
+	}
+	if sol != nil {
+		r.coverSize = coverSize(sol)
+	}
+	r.doneAt = time.Now()
+	subs := r.subs
+	r.subs = nil
+	r.mu.Unlock()
+	for _, ch := range subs {
+		close(ch)
+	}
+	close(r.done)
+}
+
+// Engine runs solves. Create with NewEngine, stop with Close.
+type Engine struct {
+	cfg   Config
+	store *GraphStore
+	queue chan *Request
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	requests map[string]*Request
+	finished []string // completed request ids, oldest first (retention ring)
+	cache    map[cacheKey]*mwvc.Solution
+	nextID   uint64
+
+	met engineMetrics
+}
+
+// NewEngine builds the engine and starts its worker pool.
+func NewEngine(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:      cfg,
+		store:    NewGraphStore(cfg.MaxGraphs),
+		queue:    make(chan *Request, cfg.QueueDepth),
+		stop:     make(chan struct{}),
+		requests: make(map[string]*Request),
+		cache:    make(map[cacheKey]*mwvc.Solution),
+	}
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Graphs returns the engine's graph store.
+func (e *Engine) Graphs() *GraphStore { return e.store }
+
+// Close stops the workers, fails every still-queued request with ErrClosed
+// and waits for in-flight solves to finish. Subsequent Submits fail with
+// ErrClosed.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.stop)
+	e.wg.Wait()
+	for {
+		select {
+		case req := <-e.queue:
+			req.mu.Lock()
+			req.startedAt = time.Now()
+			req.mu.Unlock()
+			req.finish(nil, ErrClosed, ErrClosed.Error())
+			e.met.failed.Add(1)
+			e.mu.Lock()
+			e.retainLocked(req.ID)
+			e.mu.Unlock()
+		default:
+			return
+		}
+	}
+}
+
+// Lookup returns a live or retained request by id.
+func (e *Engine) Lookup(id string) (*Request, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.requests[id]
+	return r, ok
+}
+
+// Submit admits one solve request. It validates the algorithm and graph,
+// answers from the solution cache when the exact (graph, algorithm, ε, seed,
+// constants) tuple has already been solved, and otherwise enqueues. It never
+// blocks: a full queue returns ErrQueueFull immediately — that is the
+// backpressure signal (HTTP 429).
+func (e *Engine) Submit(p SolveParams) (*Request, error) {
+	if p.Epsilon == 0 {
+		p.Epsilon = 0.1 // the facade default; normalized so cache keys agree
+	}
+	if p.Algorithm == "" {
+		p.Algorithm = string(mwvc.AlgoMPC)
+	}
+	if _, ok := solver.Lookup(p.Algorithm); !ok {
+		return nil, fmt.Errorf("serve: unknown algorithm %q", p.Algorithm)
+	}
+	if _, ok := e.store.Get(p.GraphHash); !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownGraph, p.GraphHash)
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = e.cfg.DefaultTimeout
+	}
+	if p.Timeout > e.cfg.MaxTimeout {
+		p.Timeout = e.cfg.MaxTimeout
+	}
+	now := time.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	e.met.requestsTotal.Add(1)
+	e.nextID++
+	req := &Request{
+		ID:       fmt.Sprintf("s-%06d", e.nextID),
+		Params:   p,
+		engine:   e,
+		done:     make(chan struct{}),
+		deadline: now.Add(p.Timeout),
+		status:   StatusQueued,
+		queuedAt: now,
+	}
+	if sol, ok := e.cache[keyOf(p)]; ok {
+		// Cache hit: the request completes without ever entering the queue.
+		req.cached = true
+		req.status = StatusDone
+		req.sol = sol
+		req.coverSize = coverSize(sol)
+		req.rounds = sol.Rounds
+		req.startedAt = now
+		req.doneAt = now
+		close(req.done)
+		e.met.cacheHits.Add(1)
+		e.met.done.Add(1)
+		e.requests[req.ID] = req
+		e.retainLocked(req.ID)
+		return req, nil
+	}
+	select {
+	case e.queue <- req:
+	default:
+		e.met.rejected.Add(1)
+		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, e.cfg.QueueDepth)
+	}
+	e.requests[req.ID] = req
+	return req, nil
+}
+
+// retainLocked records a finished request id and evicts beyond the retention
+// cap. Caller holds e.mu.
+func (e *Engine) retainLocked(id string) {
+	e.finished = append(e.finished, id)
+	for len(e.finished) > e.cfg.RetainRequests {
+		delete(e.requests, e.finished[0])
+		e.finished = e.finished[1:]
+	}
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		// Prioritized stop check: when Close has fired, exit instead of
+		// racing it for queued requests — Close drains and fails those with
+		// ErrClosed. Without the priority, a select with both channels ready
+		// picks randomly and shutdown would solve half the backlog.
+		select {
+		case <-e.stop:
+			return
+		default:
+		}
+		select {
+		case <-e.stop:
+			return
+		case req := <-e.queue:
+			e.run(req)
+		}
+	}
+}
+
+func keyOf(p SolveParams) cacheKey {
+	return cacheKey{hash: p.GraphHash, algo: p.Algorithm, eps: p.Epsilon, seed: p.Seed, paper: p.PaperConstants}
+}
+
+// run executes one dequeued request end to end: deadline context, observed
+// solve through the facade, outcome classification, cache fill. The cache is
+// rechecked at dequeue time — a duplicate of a request that finished while
+// this one waited in the queue is served from the cache without re-running
+// the solver.
+func (e *Engine) run(req *Request) {
+	e.mu.Lock()
+	sol, hit := e.cache[keyOf(req.Params)]
+	e.mu.Unlock()
+	if hit {
+		req.mu.Lock()
+		req.cached = true
+		req.startedAt = time.Now()
+		req.mu.Unlock()
+		req.finish(sol, nil, "")
+		e.met.cacheHits.Add(1)
+		e.met.done.Add(1)
+		e.mu.Lock()
+		e.retainLocked(req.ID)
+		e.mu.Unlock()
+		return
+	}
+	req.mu.Lock()
+	req.status = StatusRunning
+	req.startedAt = time.Now()
+	req.mu.Unlock()
+	e.met.inFlight.Add(1)
+	defer e.met.inFlight.Add(-1)
+
+	// The deadline was fixed at admission; a request that exhausted it in
+	// the queue fails here without wasting a solver execution on it.
+	ctx, cancel := context.WithDeadline(context.Background(), req.deadline)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		msg, _ := cli.DeadlineMessage(err, 0)
+		req.finish(nil, err, msg)
+		e.met.failed.Add(1)
+		e.mu.Lock()
+		e.retainLocked(req.ID)
+		e.mu.Unlock()
+		return
+	}
+	p := req.Params
+	sg, ok := e.store.Get(p.GraphHash)
+	if !ok { // validated at Submit; the store never evicts, so unreachable
+		req.finish(nil, ErrUnknownGraph, ErrUnknownGraph.Error())
+		e.met.failed.Add(1)
+		e.mu.Lock()
+		e.retainLocked(req.ID)
+		e.mu.Unlock()
+		return
+	}
+	opts := []mwvc.Option{
+		mwvc.WithAlgorithm(mwvc.Algorithm(p.Algorithm)),
+		mwvc.WithEpsilon(p.Epsilon),
+		mwvc.WithSeed(p.Seed),
+		mwvc.WithParallelism(e.cfg.SolverParallelism),
+		mwvc.WithObserver(mwvc.ObserverFunc(req.observe)),
+	}
+	if p.PaperConstants {
+		opts = append(opts, mwvc.WithPaperConstants())
+	}
+	start := time.Now()
+	sol, err := mwvc.Solve(ctx, sg.Graph, opts...)
+	elapsed := time.Since(start)
+	// Solver-execution accounting covers failures too: a deadline-bound
+	// overload burns full worker time per request, and metrics that only
+	// count successes would show an idle solver during the incident.
+	e.met.solveCount.Add(1)
+	e.met.solveNanos.Add(int64(elapsed))
+	e.met.algoCount(p.Algorithm)
+
+	if err != nil {
+		msg := err.Error()
+		if m, ok := cli.DeadlineMessage(err, req.Rounds()); ok {
+			msg = m
+		}
+		req.finish(nil, err, msg)
+		e.met.failed.Add(1)
+		e.mu.Lock()
+		e.retainLocked(req.ID)
+		e.mu.Unlock()
+		return
+	}
+	key := keyOf(p)
+	e.mu.Lock()
+	if _, exists := e.cache[key]; !exists && len(e.cache) >= e.cfg.MaxCacheEntries {
+		for k := range e.cache { // evict an arbitrary entry to stay bounded
+			delete(e.cache, k)
+			break
+		}
+	}
+	e.cache[key] = sol
+	e.retainLocked(req.ID)
+	e.mu.Unlock()
+	e.met.done.Add(1)
+	req.finish(sol, nil, "")
+}
+
+// engineMetrics is the engine's aggregate instrumentation; see metrics.go
+// for the exported snapshot and the Prometheus exposition.
+type engineMetrics struct {
+	requestsTotal atomic.Int64
+	rejected      atomic.Int64
+	cacheHits     atomic.Int64
+	done          atomic.Int64
+	failed        atomic.Int64
+	inFlight      atomic.Int64
+	roundsTotal   atomic.Int64
+	eventsTotal   atomic.Int64
+	solveCount    atomic.Int64
+	solveNanos    atomic.Int64
+
+	algoMu  sync.Mutex
+	perAlgo map[string]int64
+}
+
+func (m *engineMetrics) algoCount(algo string) {
+	m.algoMu.Lock()
+	if m.perAlgo == nil {
+		m.perAlgo = make(map[string]int64)
+	}
+	m.perAlgo[algo]++
+	m.algoMu.Unlock()
+}

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Metrics is a point-in-time snapshot of the engine's aggregate
+// instrumentation, fed from two sources: the request lifecycle (admission,
+// rejection, cache hits, completion) and the solver.Observer event stream
+// that every in-engine solve is wired to (rounds and events totals).
+type Metrics struct {
+	// Request lifecycle counters.
+	RequestsTotal int64 // admitted + rejected Submit calls
+	Rejected      int64 // backpressure rejections (queue full)
+	CacheHits     int64 // requests answered from the solution cache
+	Done          int64 // successfully completed requests (incl. cache hits)
+	Failed        int64 // failed requests (deadline, solver error, shutdown)
+
+	// Instantaneous gauges.
+	InFlight     int64 // solves currently executing on workers
+	Queued       int64 // requests waiting in the FIFO queue
+	GraphsStored int64 // graphs in the content-addressed store
+
+	// Observer-stream totals across all solves.
+	RoundsTotal int64 // KindRound events observed
+	EventsTotal int64 // all events observed
+
+	// Solve-time accounting: actual solver executions, successful or failed
+	// (a deadline-bound failure still burns worker time); cache hits
+	// excluded.
+	SolveCount   int64
+	SolveSeconds float64
+
+	// PerAlgorithm counts solver executions by algorithm (successful or
+	// failed; cache hits excluded).
+	PerAlgorithm map[string]int64
+}
+
+// Metrics returns a snapshot of the engine's counters.
+func (e *Engine) Metrics() Metrics {
+	m := Metrics{
+		RequestsTotal: e.met.requestsTotal.Load(),
+		Rejected:      e.met.rejected.Load(),
+		CacheHits:     e.met.cacheHits.Load(),
+		Done:          e.met.done.Load(),
+		Failed:        e.met.failed.Load(),
+		InFlight:      e.met.inFlight.Load(),
+		Queued:        int64(len(e.queue)),
+		GraphsStored:  int64(e.store.Len()),
+		RoundsTotal:   e.met.roundsTotal.Load(),
+		EventsTotal:   e.met.eventsTotal.Load(),
+		SolveCount:    e.met.solveCount.Load(),
+		SolveSeconds:  time.Duration(e.met.solveNanos.Load()).Seconds(),
+	}
+	e.met.algoMu.Lock()
+	if len(e.met.perAlgo) > 0 {
+		m.PerAlgorithm = make(map[string]int64, len(e.met.perAlgo))
+		for k, v := range e.met.perAlgo {
+			m.PerAlgorithm[k] = v
+		}
+	}
+	e.met.algoMu.Unlock()
+	return m
+}
+
+// WriteMetrics renders the snapshot in the Prometheus text exposition
+// format (counters and gauges only — no client library dependency).
+func WriteMetrics(w io.Writer, m Metrics) error {
+	type row struct {
+		name, help, kind string
+		value            float64
+	}
+	rows := []row{
+		{"mwvc_requests_total", "Solve requests submitted (admitted or rejected).", "counter", float64(m.RequestsTotal)},
+		{"mwvc_requests_rejected_total", "Requests rejected by queue backpressure.", "counter", float64(m.Rejected)},
+		{"mwvc_cache_hits_total", "Requests answered from the solution cache.", "counter", float64(m.CacheHits)},
+		{"mwvc_requests_done_total", "Requests completed successfully.", "counter", float64(m.Done)},
+		{"mwvc_requests_failed_total", "Requests failed (deadline, error, shutdown).", "counter", float64(m.Failed)},
+		{"mwvc_solves_in_flight", "Solves currently executing.", "gauge", float64(m.InFlight)},
+		{"mwvc_queue_depth", "Requests waiting in the FIFO queue.", "gauge", float64(m.Queued)},
+		{"mwvc_graphs_stored", "Graphs in the content-addressed store.", "gauge", float64(m.GraphsStored)},
+		{"mwvc_rounds_total", "Communication rounds observed across all solves.", "counter", float64(m.RoundsTotal)},
+		{"mwvc_observer_events_total", "Observer events fanned into the metrics stream.", "counter", float64(m.EventsTotal)},
+		{"mwvc_solve_seconds_sum", "Total wall-clock seconds spent solving (failed solves included).", "counter", m.SolveSeconds},
+		{"mwvc_solve_seconds_count", "Solver executions timed, successful or failed (cache hits excluded).", "counter", float64(m.SolveCount)},
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", r.name, r.help, r.name, r.kind, r.name, r.value); err != nil {
+			return err
+		}
+	}
+	if len(m.PerAlgorithm) > 0 {
+		if _, err := fmt.Fprintf(w, "# HELP mwvc_solves_by_algorithm_total Solver executions by algorithm.\n# TYPE mwvc_solves_by_algorithm_total counter\n"); err != nil {
+			return err
+		}
+		algos := make([]string, 0, len(m.PerAlgorithm))
+		for a := range m.PerAlgorithm {
+			algos = append(algos, a)
+		}
+		sort.Strings(algos)
+		for _, a := range algos {
+			if _, err := fmt.Fprintf(w, "mwvc_solves_by_algorithm_total{algorithm=%q} %d\n", a, m.PerAlgorithm[a]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

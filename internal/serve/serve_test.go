@@ -1,0 +1,427 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	mwvc "repro"
+	"repro/internal/graph"
+	"repro/internal/solver"
+)
+
+// The gated test solver makes queue and deadline behavior deterministic: it
+// blocks until the test releases its gate (or the request deadline fires),
+// then returns the trivial all-vertices cover.
+var gate struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+// setGate installs a fresh gate and returns its release function. Tests that
+// use the gated solver must call setGate first; release is idempotent via
+// sync.Once in the caller's hands (close once).
+func setGate(t *testing.T) (release func()) {
+	ch := make(chan struct{})
+	gate.mu.Lock()
+	gate.ch = ch
+	gate.mu.Unlock()
+	var once sync.Once
+	release = func() { once.Do(func() { close(ch) }) }
+	t.Cleanup(func() {
+		release()
+		gate.mu.Lock()
+		gate.ch = nil
+		gate.mu.Unlock()
+	})
+	return release
+}
+
+func init() {
+	solver.Register(solver.Meta{
+		Name:    "test-gated",
+		Rank:    1000,
+		Summary: "test-only solver that blocks until released",
+	}, solver.Func(func(ctx context.Context, g *graph.Graph, cfg solver.Config) (*solver.Outcome, error) {
+		gate.mu.Lock()
+		ch := gate.ch
+		gate.mu.Unlock()
+		if ch != nil {
+			select {
+			case <-ch:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		cover := make([]bool, g.NumVertices())
+		for i := range cover {
+			cover[i] = true
+		}
+		return &solver.Outcome{Cover: cover}, nil
+	}))
+}
+
+func testGraph(t *testing.T, seed uint64, n int, d float64) *graph.Graph {
+	t.Helper()
+	return mwvc.RandomGraph(seed, n, d)
+}
+
+func newTestEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e := NewEngine(cfg)
+	t.Cleanup(e.Close)
+	return e
+}
+
+func addGraph(t *testing.T, e *Engine, g *graph.Graph) string {
+	t.Helper()
+	sg, _, err := e.Graphs().Add(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sg.Hash
+}
+
+func TestGraphStoreContentAddressing(t *testing.T) {
+	s := NewGraphStore(10)
+	g1 := testGraph(t, 1, 40, 4)
+	g2 := testGraph(t, 2, 40, 4)
+
+	a1, new1, err := s.Add(g1)
+	if err != nil || !new1 {
+		t.Fatalf("first add: new=%v err=%v", new1, err)
+	}
+	// The same content re-serialized hashes identically: round-trip through
+	// the text format and re-add.
+	var buf bytes.Buffer
+	if err := graph.Write(&buf, g1); err != nil {
+		t.Fatal(err)
+	}
+	g1b, err := graph.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1b, new1b, err := s.Add(g1b)
+	if err != nil || new1b {
+		t.Fatalf("re-add of identical content: new=%v err=%v", new1b, err)
+	}
+	if a1b.Hash != a1.Hash {
+		t.Fatalf("content hash unstable: %s vs %s", a1.Hash, a1b.Hash)
+	}
+	a2, _, err := s.Add(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Hash == a1.Hash {
+		t.Fatalf("distinct graphs collided on %s", a1.Hash)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("store len %d, want 2", s.Len())
+	}
+	if !strings.HasPrefix(a1.Hash, "sha256:") {
+		t.Fatalf("hash %q missing scheme prefix", a1.Hash)
+	}
+}
+
+func TestGraphStoreCap(t *testing.T) {
+	s := NewGraphStore(2)
+	for seed := uint64(1); seed <= 2; seed++ {
+		if _, _, err := s.Add(testGraph(t, seed, 20, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := s.Add(testGraph(t, 3, 20, 3)); !errors.Is(err, ErrStoreFull) {
+		t.Fatalf("overfull add: %v, want ErrStoreFull", err)
+	}
+	// Re-adding stored content still works at cap (it is a lookup, not an add).
+	if _, isNew, err := s.Add(testGraph(t, 1, 20, 3)); err != nil || isNew {
+		t.Fatalf("re-add at cap: new=%v err=%v", isNew, err)
+	}
+}
+
+func TestSolveAndCacheHit(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 2, QueueDepth: 8})
+	hash := addGraph(t, e, testGraph(t, 1, 120, 6))
+	params := SolveParams{GraphHash: hash, Algorithm: "mpc", Epsilon: 0.1, Seed: 7}
+
+	req1, err := e.Submit(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := req1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sol1, err := req1.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req1.IsCached() {
+		t.Fatal("first solve reported cached")
+	}
+	if sol1.Weight <= 0 || sol1.Rounds == 0 {
+		t.Fatalf("implausible solution: %+v", sol1)
+	}
+
+	req2, err := e.Submit(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := req2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sol2, err := req2.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !req2.IsCached() {
+		t.Fatal("identical request not served from cache")
+	}
+	if sol2 != sol1 {
+		t.Fatal("cache returned a different solution object")
+	}
+	m := e.Metrics()
+	if m.CacheHits != 1 || m.SolveCount != 1 || m.Done != 2 {
+		t.Fatalf("metrics after cache hit: %+v", m)
+	}
+
+	// Any parameter change misses the cache.
+	req3, err := e.Submit(SolveParams{GraphHash: hash, Algorithm: "mpc", Epsilon: 0.1, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := req3.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if req3.IsCached() {
+		t.Fatal("different seed served from cache")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1, QueueDepth: 2})
+	hash := addGraph(t, e, testGraph(t, 1, 30, 3))
+	if _, err := e.Submit(SolveParams{GraphHash: hash, Algorithm: "no-such-algo"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := e.Submit(SolveParams{GraphHash: "sha256:feed", Algorithm: "mpc"}); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("unknown graph: %v, want ErrUnknownGraph", err)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	release := setGate(t)
+	e := newTestEngine(t, Config{Workers: 1, QueueDepth: 1})
+	hash := addGraph(t, e, testGraph(t, 1, 30, 3))
+	params := SolveParams{GraphHash: hash, Algorithm: "test-gated"}
+
+	// First request occupies the single worker...
+	req1, err := e.Submit(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, req1, StatusRunning)
+	// ...second fills the queue (vary the seed so the cache never matches)...
+	req2, err := e.Submit(SolveParams{GraphHash: hash, Algorithm: "test-gated", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...third must be rejected immediately with backpressure.
+	if _, err := e.Submit(SolveParams{GraphHash: hash, Algorithm: "test-gated", Seed: 3}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overfull queue: %v, want ErrQueueFull", err)
+	}
+	if m := e.Metrics(); m.Rejected != 1 {
+		t.Fatalf("rejected count %d, want 1", m.Rejected)
+	}
+
+	release()
+	for _, r := range []*Request{req1, req2} {
+		if err := r.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Result(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// With the worker free again, new requests are admitted.
+	req4, err := e.Submit(SolveParams{GraphHash: hash, Algorithm: "test-gated", Seed: 4})
+	if err != nil {
+		t.Fatalf("post-drain submit rejected: %v", err)
+	}
+	if err := req4.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitStatus polls until the request reaches the wanted state (observer-free
+// states like "running" have no completion channel to block on).
+func waitStatus(t *testing.T, r *Request, want Status) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if r.Status() == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("request %s never reached %s (now %s)", r.ID, want, r.Status())
+}
+
+func TestPerRequestDeadline(t *testing.T) {
+	setGate(t) // never released before cleanup: the deadline must fire
+	e := newTestEngine(t, Config{Workers: 1, QueueDepth: 2})
+	hash := addGraph(t, e, testGraph(t, 1, 30, 3))
+	req, err := e.Submit(SolveParams{GraphHash: hash, Algorithm: "test-gated", Timeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := req.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	_, err = req.Result()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline error not surfaced: %v", err)
+	}
+	if req.Status() != StatusFailed {
+		t.Fatalf("status %s, want failed", req.Status())
+	}
+	if msg := req.ErrorMessage(); !strings.Contains(msg, "deadline exceeded") {
+		t.Fatalf("error message %q not unified", msg)
+	}
+	if m := e.Metrics(); m.Failed != 1 {
+		t.Fatalf("failed count %d, want 1", m.Failed)
+	}
+}
+
+// TestDeadlineCoversQueueWait pins that the per-request clock starts at
+// admission: a request whose deadline expires while it waits in the queue
+// fails with the deadline error when dequeued instead of starting a solve
+// its client has already given up on.
+func TestDeadlineCoversQueueWait(t *testing.T) {
+	release := setGate(t)
+	e := newTestEngine(t, Config{Workers: 1, QueueDepth: 2})
+	hash := addGraph(t, e, testGraph(t, 1, 30, 3))
+	// Occupy the single worker far beyond the second request's deadline.
+	req1, err := e.Submit(SolveParams{GraphHash: hash, Algorithm: "test-gated", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, req1, StatusRunning)
+	req2, err := e.Submit(SolveParams{GraphHash: hash, Algorithm: "test-gated", Seed: 2, Timeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond) // req2's deadline passes while queued
+	release()
+	if err := req2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := req2.Result(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued-past-deadline request: %v, want DeadlineExceeded", err)
+	}
+	if msg := req2.ErrorMessage(); !strings.Contains(msg, "deadline exceeded") {
+		t.Fatalf("error message %q not unified", msg)
+	}
+	// The worker stayed healthy: req1 completed normally.
+	if err := req1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := req1.Result(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestTraceObserved(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1, QueueDepth: 2})
+	hash := addGraph(t, e, testGraph(t, 3, 150, 8))
+	req, err := e.Submit(SolveParams{GraphHash: hash, Algorithm: "mpc", Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := req.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := req.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	past, live, cancel := req.Subscribe(16)
+	defer cancel()
+	if _, ok := <-live; ok {
+		t.Fatal("live channel of finished request not closed")
+	}
+	rounds := 0
+	for _, ev := range past {
+		if ev.Kind == mwvc.KindRound {
+			rounds++
+		}
+	}
+	if rounds != sol.Rounds {
+		t.Fatalf("trace has %d round events, solution says %d rounds", rounds, sol.Rounds)
+	}
+	if req.Rounds() != sol.Rounds {
+		t.Fatalf("Rounds() %d != solution %d", req.Rounds(), sol.Rounds)
+	}
+	m := e.Metrics()
+	if m.RoundsTotal != int64(sol.Rounds) || m.EventsTotal < int64(len(past)) {
+		t.Fatalf("observer metrics not fed: %+v (rounds want %d)", m, sol.Rounds)
+	}
+}
+
+func TestEngineCloseRejectsAndDrains(t *testing.T) {
+	release := setGate(t)
+	e := NewEngine(Config{Workers: 1, QueueDepth: 4})
+	hash := addGraph(t, e, testGraph(t, 1, 30, 3))
+	req1, err := e.Submit(SolveParams{GraphHash: hash, Algorithm: "test-gated"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, req1, StatusRunning)
+	closed := make(chan struct{})
+	go func() { e.Close(); close(closed) }()
+	release()
+	<-closed
+	if _, err := e.Submit(SolveParams{GraphHash: hash, Algorithm: "test-gated", Seed: 9}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+	if err := req1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := req1.Result(); err != nil {
+		t.Fatalf("in-flight solve not completed on close: %v", err)
+	}
+	e.Close() // idempotent
+}
+
+func TestRequestRetention(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 2, QueueDepth: 8, RetainRequests: 3})
+	hash := addGraph(t, e, testGraph(t, 1, 40, 4))
+	var ids []string
+	for seed := uint64(0); seed < 6; seed++ {
+		req, err := e.Submit(SolveParams{GraphHash: hash, Algorithm: "greedy", Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := req.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, req.ID)
+	}
+	// All six requests completed (distinct seeds, so distinct cache keys);
+	// only the last RetainRequests stay addressable.
+	retained := 0
+	for _, id := range ids {
+		if _, ok := e.Lookup(id); ok {
+			retained++
+		}
+	}
+	if retained != 3 {
+		t.Fatalf("retained %d finished requests, want 3", retained)
+	}
+	if _, ok := e.Lookup(ids[len(ids)-1]); !ok {
+		t.Fatal("most recent request evicted before older ones")
+	}
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// HashGraph returns the content address of g: "sha256:" plus the hex digest
+// of its canonical text serialization (graph.Write is deterministic — header,
+// weights in vertex order, edges in id order — so isomorphic uploads with the
+// same vertex numbering always collapse to one stored graph).
+func HashGraph(g *graph.Graph) (string, error) {
+	h := sha256.New()
+	if err := graph.Write(h, g); err != nil {
+		return "", fmt.Errorf("serve: hashing graph: %w", err)
+	}
+	return "sha256:" + hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// StoredGraph is a graph held by the store under its content hash.
+type StoredGraph struct {
+	Hash     string
+	Graph    *graph.Graph
+	Vertices int
+	Edges    int
+}
+
+// GraphStore is the content-addressed graph repository behind POST
+// /v1/graphs: clients upload a graph once and refer to it by hash in any
+// number of solve requests, so repeated solves of the same instance never
+// re-upload (or re-parse) it. All methods are safe for concurrent use.
+type GraphStore struct {
+	mu     sync.RWMutex
+	graphs map[string]*StoredGraph
+	max    int
+}
+
+// NewGraphStore returns a store holding at most max graphs (0 means the
+// default of 1024). The cap is a guardrail against unbounded memory from
+// hostile or runaway uploads, not an eviction policy: when full, Add returns
+// ErrStoreFull and the client must reuse stored graphs.
+func NewGraphStore(max int) *GraphStore {
+	if max <= 0 {
+		max = 1024
+	}
+	return &GraphStore{graphs: make(map[string]*StoredGraph), max: max}
+}
+
+// ErrStoreFull reports that the graph store reached its configured cap.
+var ErrStoreFull = fmt.Errorf("serve: graph store full")
+
+// Add stores g under its content hash and returns the stored entry plus
+// whether the graph was new. Re-adding an existing graph is a cheap no-op
+// returning the prior entry — that is the point of content addressing.
+func (s *GraphStore) Add(g *graph.Graph) (sg *StoredGraph, isNew bool, err error) {
+	hash, err := HashGraph(g)
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.graphs[hash]; ok {
+		return prev, false, nil
+	}
+	if len(s.graphs) >= s.max {
+		return nil, false, fmt.Errorf("%w (cap %d)", ErrStoreFull, s.max)
+	}
+	sg = &StoredGraph{Hash: hash, Graph: g, Vertices: g.NumVertices(), Edges: g.NumEdges()}
+	s.graphs[hash] = sg
+	return sg, true, nil
+}
+
+// Get returns the stored graph with the given content hash.
+func (s *GraphStore) Get(hash string) (*StoredGraph, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sg, ok := s.graphs[hash]
+	return sg, ok
+}
+
+// Len returns the number of stored graphs.
+func (s *GraphStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.graphs)
+}

@@ -1,0 +1,101 @@
+package mwvc
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestSolutionJSONCertificateFree is the regression test for the +Inf
+// encoding bug: encoding/json rejects math.Inf, so a certificate-free
+// solution (greedy) used to make any JSON serialization of a Solution fail
+// with "unsupported value: +Inf". The convention now crosses the wire as a
+// null certified_ratio and is restored on decode.
+func TestSolutionJSONCertificateFree(t *testing.T) {
+	g := RandomGraph(1, 50, 4)
+	sol, err := Solve(context.Background(), g, WithAlgorithm(AlgoGreedy), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(sol.CertifiedRatio, 1) {
+		t.Fatalf("greedy CertifiedRatio = %v, want +Inf (test premise)", sol.CertifiedRatio)
+	}
+	data, err := json.Marshal(sol)
+	if err != nil {
+		t.Fatalf("marshal of certificate-free solution failed: %v", err)
+	}
+	if !strings.Contains(string(data), `"certified_ratio":null`) {
+		t.Fatalf("certificate-free ratio not encoded as null: %s", data)
+	}
+	var back Solution
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(back.CertifiedRatio, 1) {
+		t.Fatalf("round-trip lost the +Inf convention: got %v", back.CertifiedRatio)
+	}
+	if back.Weight != sol.Weight || len(back.Cover) != len(sol.Cover) {
+		t.Fatalf("round-trip mutated solution: weight %v→%v cover %d→%d",
+			sol.Weight, back.Weight, len(sol.Cover), len(back.Cover))
+	}
+}
+
+// TestSolutionJSONRoundTrip pins the wire format for a certified solution:
+// every field survives, the finite ratio encodes as a number, and a Solution
+// embedded in a larger response struct (the service's case) encodes too.
+func TestSolutionJSONRoundTrip(t *testing.T) {
+	g := RandomGraph(2, 80, 6)
+	sol, err := Solve(context.Background(), g, WithAlgorithm(AlgoMPC), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(sol.CertifiedRatio, 0) {
+		t.Fatalf("mpc returned no certificate (test premise broken)")
+	}
+	type response struct {
+		ID       string    `json:"id"`
+		Solution *Solution `json:"solution"`
+	}
+	data, err := json.Marshal(response{ID: "s-1", Solution: sol})
+	if err != nil {
+		t.Fatalf("marshal of embedded solution failed: %v", err)
+	}
+	var back response
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	got := back.Solution
+	if got.Weight != sol.Weight || got.Bound != sol.Bound ||
+		got.CertifiedRatio != sol.CertifiedRatio ||
+		got.Rounds != sol.Rounds || got.Phases != sol.Phases || got.Exact != sol.Exact {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, sol)
+	}
+	for i := range sol.Cover {
+		if got.Cover[i] != sol.Cover[i] {
+			t.Fatalf("cover bit %d flipped in round-trip", i)
+		}
+	}
+}
+
+// TestSolutionJSONExact pins that an exact optimum (ratio 1, Exact true)
+// keeps its finite ratio and exact flag on the wire.
+func TestSolutionJSONExact(t *testing.T) {
+	g := RandomGraph(3, 20, 3)
+	sol, err := Solve(context.Background(), g, WithAlgorithm(AlgoExact), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Solution
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Exact || back.CertifiedRatio != 1 {
+		t.Fatalf("exact solution round-trip: exact=%v ratio=%v", back.Exact, back.CertifiedRatio)
+	}
+}

@@ -26,6 +26,7 @@ package mwvc
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -231,10 +232,78 @@ type Solution struct {
 	Exact bool
 }
 
+// solutionJSON is the wire form of Solution. CertifiedRatio is a pointer
+// because encoding/json rejects non-finite floats: the +Inf "no guarantee
+// claimed" convention is carried as null on the wire.
+type solutionJSON struct {
+	Cover          []bool   `json:"cover,omitempty"`
+	Weight         float64  `json:"weight"`
+	Bound          float64  `json:"bound"`
+	CertifiedRatio *float64 `json:"certified_ratio"`
+	Rounds         int      `json:"rounds,omitempty"`
+	Phases         int      `json:"phases,omitempty"`
+	Exact          bool     `json:"exact,omitempty"`
+}
+
+// MarshalJSON encodes the solution for service responses and benchmark
+// output. The documented +Inf CertifiedRatio convention ("no guarantee
+// claimed") cannot survive encoding/json — it rejects non-finite floats — so
+// it is mapped to a null certified_ratio; every other field encodes as-is.
+func (s Solution) MarshalJSON() ([]byte, error) {
+	out := solutionJSON{
+		Cover:  s.Cover,
+		Weight: s.Weight,
+		Bound:  s.Bound,
+		Rounds: s.Rounds,
+		Phases: s.Phases,
+		Exact:  s.Exact,
+	}
+	if !math.IsInf(s.CertifiedRatio, 0) && !math.IsNaN(s.CertifiedRatio) {
+		r := s.CertifiedRatio
+		out.CertifiedRatio = &r
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON inverts MarshalJSON: a null or absent certified_ratio
+// restores the +Inf convention, so Weight/Bound/ratio round-trip through
+// JSON exactly.
+func (s *Solution) UnmarshalJSON(data []byte) error {
+	var in solutionJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*s = Solution{
+		Cover:  in.Cover,
+		Weight: in.Weight,
+		Bound:  in.Bound,
+		Rounds: in.Rounds,
+		Phases: in.Phases,
+		Exact:  in.Exact,
+	}
+	if in.CertifiedRatio != nil {
+		s.CertifiedRatio = *in.CertifiedRatio
+	} else {
+		s.CertifiedRatio = math.Inf(1)
+	}
+	return nil
+}
+
 // Solve computes a vertex cover of g with the selected algorithm (default
 // AlgoMPC). The context cancels or deadline-bounds the solve: every iterative
 // solver loop checks it, and a pre-cancelled context returns ctx.Err()
 // without touching the graph.
+//
+// Solve is safe for concurrent use: any number of goroutines may solve at
+// once, including on the same Graph (solvers treat the graph as read-only and
+// never mutate it). Each call builds its own solver state — the MPC cluster,
+// RNG streams and scratch arenas are all per-solve — and the registry itself
+// is read-locked, so concurrent solves share nothing mutable. Observers are
+// per-call: an Observer passed to one Solve sees only that solve's events,
+// invoked synchronously on that call's goroutine (an observer shared across
+// concurrent solves must itself be concurrency-safe). Total CPU is
+// bounded per call via WithParallelism; concurrent callers running heavy
+// algorithms should split GOMAXPROCS between them (as internal/serve does).
 func Solve(ctx context.Context, g *Graph, opts ...Option) (*Solution, error) {
 	if g == nil {
 		return nil, fmt.Errorf("mwvc: nil graph")
