@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-json lint fmt tables serve
+.PHONY: all build test bench bench-json lint fmt tables serve docs-check readme-check
 
 all: lint test
 
@@ -32,6 +32,18 @@ lint:
 
 fmt:
 	gofmt -w .
+
+# Documentation gate: vet, markdown link integrity, and doc-comment coverage
+# for the documented packages (internal/graph, internal/mpc, internal/solver,
+# internal/serve). Run by the CI docs job.
+docs-check:
+	$(GO) vet ./...
+	$(GO) run ./cmd/mwvc-docs
+
+# Pin the README quickstart commands against flag drift (see
+# scripts/check_readme.sh). Run by the CI docs job.
+readme-check:
+	./scripts/check_readme.sh
 
 # Regenerate the full-size experiment tables (minutes).
 tables:

@@ -40,11 +40,13 @@ type perfWorkload struct {
 	WordsPerRound float64 `json:"words_per_round"`
 }
 
-// perfSnapshot is one full measurement of the matrix.
+// perfSnapshot is one full measurement of the matrix plus the million-edge
+// streaming tier (stream.go).
 type perfSnapshot struct {
-	Generated string         `json:"generated"`
-	Go        string         `json:"go"`
-	Workloads []perfWorkload `json:"workloads"`
+	Generated  string         `json:"generated"`
+	Go         string         `json:"go"`
+	Workloads  []perfWorkload `json:"workloads"`
+	StreamTier *streamTier    `json:"stream_tier,omitempty"`
 }
 
 // benchFile is the on-disk BENCH.json layout.
@@ -129,6 +131,27 @@ func runPerfSnapshot(path string, regress float64) error {
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Go:        runtime.Version(),
 	}
+	// The streaming tier runs first so its recorded peak RSS reflects the
+	// streaming pipeline, not the in-memory matrix workloads.
+	fmt.Printf("measuring %s (n=%d, d=%g, streaming ingestion)...\n",
+		streamTierSpec.name, streamTierSpec.n, streamTierSpec.d)
+	tier, err := measureStreamTier()
+	if err != nil {
+		return err
+	}
+	cur.StreamTier = tier
+	fmt.Printf("  %d edges, %0.1f MB on disk; build from edge-list text: slice %dms/%d allocs vs stream %dms/%d allocs; "+
+		"ingest %dms, solve %dms (%d rounds), peak RSS %d MB\n",
+		tier.Edges, float64(tier.FileBytes)/(1<<20),
+		tier.SliceBuild.NsPerOp/1e6, tier.SliceBuild.AllocsPerOp,
+		tier.StreamBuild.NsPerOp/1e6, tier.StreamBuild.AllocsPerOp,
+		tier.IngestNs/1e6, tier.SolveNs/1e6, tier.Rounds, tier.MaxRSSBytes/(1<<20))
+	// The tier's bounds are absolute (RSS envelope, streaming allocs below
+	// buffered allocs): enforce them on every snapshot, gate or no gate.
+	if err := checkStreamTier(tier); err != nil {
+		return err
+	}
+
 	for _, m := range perfMatrix {
 		fmt.Printf("measuring %s (n=%d, d=%g)...\n", m.name, m.n, m.d)
 		w, err := measureWorkload(m.name, m.n, m.d)

@@ -1,0 +1,15 @@
+//go:build darwin
+
+package main
+
+import "syscall"
+
+// peakRSSBytes returns the process's peak resident set size in bytes (zero
+// if unavailable). Darwin reports ru_maxrss in bytes, unlike Linux's KiB.
+func peakRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Maxrss
+}

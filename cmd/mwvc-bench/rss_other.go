@@ -1,0 +1,7 @@
+//go:build !linux && !darwin
+
+package main
+
+// peakRSSBytes is unavailable on this platform; the stream tier's RSS gate
+// is skipped (checkStreamTier treats 0 as within bounds).
+func peakRSSBytes() int64 { return 0 }

@@ -1,7 +1,15 @@
 // Command mwvc-gen generates a weighted graph instance and writes it in the
-// repository's text format (readable back by cmd/mwvc -in).
+// repository's text formats (readable back by cmd/mwvc -in and by the solve
+// service's POST /v1/graphs).
 //
 //	mwvc-gen -gen gnp -n 100000 -d 64 -weights loguniform -o instance.txt
+//	mwvc-gen -gen gnp -n 500000 -d 8 -stream -o million-edges.el
+//
+// Without -stream the instance is built in memory and written in the
+// canonical "mwvc-graph 1" format. With -stream the generator's edge
+// sequence flows straight to the output in the "mwvc-el 1" edge-list format
+// — the graph is never materialized, so instance size is bounded by disk,
+// not RAM. See docs/FORMATS.md for both formats.
 package main
 
 import (
@@ -22,13 +30,24 @@ func main() {
 		weights   = flag.String("weights", "unit", "weight model: "+strings.Join(cli.WeightModels(), " | "))
 		seed      = flag.Uint64("seed", 1, "random seed")
 		out       = flag.String("o", "", "output file (default stdout)")
+		stream    = flag.Bool("stream", false, "stream the edge list to the output without building the graph in memory\n(generators: "+strings.Join(cli.StreamableGenerators(), ", ")+"; format: mwvc-el)")
 	)
 	flag.Parse()
 
-	g, err := cli.BuildGraph(*generator, *n, *d, *weights, *seed)
+	// Validate (and for the buffered path, generate) before touching the
+	// output: a parameter error must never truncate an existing -o file.
+	var job *cli.StreamJob
+	var g *graph.Graph
+	var err error
+	if *stream {
+		job, err = cli.PrepareStream(*generator, *n, *d, *weights, *seed)
+	} else {
+		g, err = cli.BuildGraph(*generator, *n, *d, *weights, *seed)
+	}
 	if err != nil {
 		fatal(err)
 	}
+
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -38,6 +57,17 @@ func main() {
 		defer f.Close()
 		w = f
 	}
+
+	if *stream {
+		m, err := job.WriteTo(w)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mwvc-gen: streamed n=%d m=%d avg_degree=%.1f (mwvc-el)\n",
+			job.Vertices, m, 2*float64(m)/float64(max(job.Vertices, 1)))
+		return
+	}
+
 	if err := graph.Write(w, g); err != nil {
 		fatal(err)
 	}

@@ -159,12 +159,10 @@ func traceEvent(e mwvc.Event) {
 
 func loadGraph(inFile, generator string, n int, d float64, weights string, seed uint64) (*graph.Graph, error) {
 	if inFile != "" {
-		f, err := os.Open(inFile)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return graph.Read(f)
+		// Two-pass streaming ingestion: the file is scanned twice and the CSR
+		// arrays are filled in place, so -in handles million-edge instances
+		// without an edge-list buffer.
+		return graph.OpenFile(inFile)
 	}
 	return cli.BuildGraph(generator, n, d, weights, seed)
 }

@@ -48,8 +48,9 @@ func BarYehudaEven(g *graph.Graph) *Solution {
 	}
 	duals := make([]float64, g.NumEdges())
 	cover := make([]bool, n)
+	ep := g.EdgeEndpoints()
 	for e := 0; e < g.NumEdges(); e++ {
-		u, v := g.Edge(graph.EdgeID(e))
+		u, v := ep[2*e], ep[2*e+1]
 		if cover[u] || cover[v] {
 			continue
 		}
@@ -140,8 +141,9 @@ func MaximalMatchingCover(g *graph.Graph) (*Solution, error) {
 	}
 	cover := make([]bool, g.NumVertices())
 	duals := make([]float64, g.NumEdges())
+	ep := g.EdgeEndpoints()
 	for e := 0; e < g.NumEdges(); e++ {
-		u, v := g.Edge(graph.EdgeID(e))
+		u, v := ep[2*e], ep[2*e+1]
 		if !cover[u] && !cover[v] {
 			cover[u], cover[v] = true, true
 			duals[e] = 1

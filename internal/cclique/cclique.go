@@ -109,8 +109,9 @@ func Run(ctx context.Context, g *graph.Graph, cfg solver.Config) (*Result, error
 	activeEdges := int64(g.NumEdges())
 	recount := func() int64 {
 		c := int64(0)
+		ep := g.EdgeEndpoints()
 		for e := 0; e < g.NumEdges(); e++ {
-			u, w := g.Edge(graph.EdgeID(e))
+			u, w := ep[2*e], ep[2*e+1]
 			if states[u].active && states[w].active {
 				c++
 			}

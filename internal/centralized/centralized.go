@@ -158,8 +158,9 @@ func DeriveX0(inst Instance, policy InitPolicy) ([]float64, error) {
 	switch policy {
 	case InitDegreeAware:
 		deg := g.DegreesWithinMask(active)
+		ep := g.EdgeEndpoints()
 		for e := 0; e < g.NumEdges(); e++ {
-			u, v := g.Edge(graph.EdgeID(e))
+			u, v := ep[2*e], ep[2*e+1]
 			if !isActive(u) || !isActive(v) {
 				continue
 			}
@@ -181,8 +182,9 @@ func DeriveX0(inst Instance, policy InitPolicy) ([]float64, error) {
 			return x0, nil
 		}
 		base := wmin / float64(g.NumVertices())
+		ep := g.EdgeEndpoints()
 		for e := 0; e < g.NumEdges(); e++ {
-			u, v := g.Edge(graph.EdgeID(e))
+			u, v := ep[2*e], ep[2*e+1]
 			if isActive(u) && isActive(v) {
 				x0[e] = base
 			}

@@ -74,6 +74,7 @@ func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 	}
 	n := g.NumVertices()
 	mEdges := g.NumEdges()
+	epFlat := g.EdgeEndpoints() // flat (u,v) pairs; epFlat[2e], epFlat[2e+1] = endpoints of e
 	eps := p.Epsilon
 	growth := 1 / (1 - eps)
 
@@ -303,7 +304,7 @@ func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 			if edgeFrozen[e] {
 				continue
 			}
-			u, v := g.Edge(graph.EdgeID(e))
+			u, v := epFlat[2*e], epFlat[2*e+1]
 			if !high[u] || !high[v] {
 				continue
 			}
@@ -422,7 +423,7 @@ func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 				if edgeFrozen[e] {
 					continue
 				}
-				u, v := g.Edge(graph.EdgeID(e))
+				u, v := epFlat[2*e], epFlat[2*e+1]
 				if high[u] && high[v] && machineOf[u] == machineOf[v] {
 					eCnt[machineOf[u]]++
 					sc.edgeIDs = append(sc.edgeIDs, int32(e))
@@ -467,7 +468,7 @@ func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 				vCnt[dst]++
 			}
 			for _, e := range sc.edgeIDs {
-				u, v := g.Edge(graph.EdgeID(e))
+				u, v := epFlat[2*e], epFlat[2*e+1]
 				dst := machineOf[u]
 				mpc.SetEdgeRecord(eBuf[dst], int(eCnt[dst]), u, v, xPhase[e])
 				eCnt[dst]++
@@ -642,7 +643,7 @@ func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 			cp.Edges = make([][2]int32, len(highEdges))
 			cp.X0 = make([]float64, len(highEdges))
 			for i, e := range highEdges {
-				u, v := g.Edge(graph.EdgeID(e))
+				u, v := epFlat[2*e], epFlat[2*e+1]
 				cp.Edges[i] = [2]int32{highIndex[u], highIndex[v]}
 				cp.X0[i] = xPhase[e]
 			}
@@ -667,7 +668,7 @@ func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 			return iters
 		}
 		for _, e := range highEdges {
-			u, v := g.Edge(graph.EdgeID(e))
+			u, v := epFlat[2*e], epFlat[2*e+1]
 			t := fiOf(u)
 			if tv := fiOf(v); tv < t {
 				t = tv
@@ -691,7 +692,7 @@ func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 			yMPC[v] = 0
 		}
 		for _, e := range highEdges {
-			u, v := g.Edge(graph.EdgeID(e))
+			u, v := epFlat[2*e], epFlat[2*e+1]
 			yMPC[u] += xPhase[e]
 			yMPC[v] += xPhase[e]
 		}
@@ -709,7 +710,7 @@ func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 		// Finalize edges: E[V^high] edges with a frozen endpoint keep their
 		// Line (2h) weight; Line (2j) freezes V^inactive-side edges at 0.
 		for _, e := range highEdges {
-			u, v := g.Edge(graph.EdgeID(e))
+			u, v := epFlat[2*e], epFlat[2*e+1]
 			if frozen[u] || frozen[v] {
 				edgeFrozen[e] = true
 				xFinal[e] = xPhase[e]
@@ -737,7 +738,7 @@ func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 			if edgeFrozen[e] {
 				continue
 			}
-			u, v := g.Edge(graph.EdgeID(e))
+			u, v := epFlat[2*e], epFlat[2*e+1]
 			resDeg[u]++
 			resDeg[v]++
 			nonfrozenEdges++

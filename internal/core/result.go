@@ -100,8 +100,9 @@ type Result struct {
 func (r *Result) FeasibleDual(g *graph.Graph) (scaled []float64, alpha float64) {
 	alpha = 1.0
 	incident := make([]float64, g.NumVertices())
+	ep := g.EdgeEndpoints()
 	for e := 0; e < g.NumEdges(); e++ {
-		u, v := g.Edge(graph.EdgeID(e))
+		u, v := ep[2*e], ep[2*e+1]
 		incident[u] += r.X[e]
 		incident[v] += r.X[e]
 	}
@@ -126,8 +127,9 @@ func (r *Result) FeasibleDual(g *graph.Graph) (scaled []float64, alpha float64) 
 // empty cover.
 func (r *Result) CoverTightness(g *graph.Graph) float64 {
 	incident := make([]float64, g.NumVertices())
+	ep := g.EdgeEndpoints()
 	for e := 0; e < g.NumEdges(); e++ {
-		u, v := g.Edge(graph.EdgeID(e))
+		u, v := ep[2*e], ep[2*e+1]
 		incident[u] += r.X[e]
 		incident[v] += r.X[e]
 	}

@@ -37,8 +37,9 @@ func Solve(ctx context.Context, g *graph.Graph) ([]bool, float64, error) {
 		adj:     make([]uint64, n),
 		best:    math.Inf(1),
 	}
+	ep := g.EdgeEndpoints()
 	for e := 0; e < g.NumEdges(); e++ {
-		u, v := g.Edge(graph.EdgeID(e))
+		u, v := ep[2*e], ep[2*e+1]
 		s.adj[u] |= 1 << uint(v)
 		s.adj[v] |= 1 << uint(u)
 	}
@@ -183,8 +184,9 @@ func BruteForce(g *graph.Graph) ([]bool, float64, error) {
 	}
 	type edge struct{ u, v int }
 	edges := make([]edge, g.NumEdges())
+	ep := g.EdgeEndpoints()
 	for e := 0; e < g.NumEdges(); e++ {
-		u, v := g.Edge(graph.EdgeID(e))
+		u, v := ep[2*e], ep[2*e+1]
 		edges[e] = edge{int(u), int(v)}
 	}
 	best := math.Inf(1)

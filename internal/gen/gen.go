@@ -12,49 +12,20 @@ package gen
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
 
 // Gnp returns an Erdős–Rényi G(n, p) graph. Edges are generated with the
-// geometric skipping method, so the cost is O(n + m) rather than O(n²).
+// geometric skipping method, so the cost is O(n + m) rather than O(n²), and
+// the graph is assembled by replaying the EmitGnp edge stream through the
+// streaming CSR builder — no edge-list buffer even for huge instances.
 func Gnp(seed uint64, n int, p float64) *graph.Graph {
 	if p < 0 || p > 1 {
 		panic(fmt.Sprintf("gen: Gnp probability %v out of [0,1]", p))
 	}
-	b := graph.NewBuilder(n)
-	if p > 0 && n > 1 {
-		src := rng.New(seed).Split('g', 'n', 'p')
-		if p == 1 {
-			for u := 0; u < n; u++ {
-				for v := u + 1; v < n; v++ {
-					b.AddEdge(graph.Vertex(u), graph.Vertex(v))
-				}
-			}
-		} else {
-			// Walk the strictly-upper-triangular adjacency matrix in row-major
-			// order, jumping geometric(p) positions between successive edges.
-			logq := math.Log1p(-p)
-			u, v := 0, 0 // current column within row u is v (v>u required)
-			for {
-				skip := int(math.Floor(math.Log(1-src.Float64()) / logq))
-				v += 1 + skip
-				for v >= n {
-					overflow := v - n
-					u++
-					v = u + 1 + overflow
-					if u >= n-1 {
-						goto done
-					}
-				}
-				b.AddEdge(graph.Vertex(u), graph.Vertex(v))
-			}
-		done:
-		}
-	}
-	return b.MustBuild()
+	return buildStreamed(n, func(emit EdgeEmitter) { EmitGnp(seed, n, p, emit) })
 }
 
 // GnpAvgDegree returns G(n, p) with p chosen so the expected average degree
@@ -123,33 +94,9 @@ func RandomBipartite(seed uint64, nLeft, nRight int, p float64) *graph.Graph {
 	if p < 0 || p > 1 {
 		panic(fmt.Sprintf("gen: RandomBipartite probability %v out of [0,1]", p))
 	}
-	n := nLeft + nRight
-	b := graph.NewBuilder(n)
-	src := rng.New(seed).Split('b', 'i', 'p')
-	if p > 0 {
-		// Geometric skipping over the nLeft×nRight grid.
-		if p == 1 {
-			for u := 0; u < nLeft; u++ {
-				for v := 0; v < nRight; v++ {
-					b.AddEdge(graph.Vertex(u), graph.Vertex(nLeft+v))
-				}
-			}
-		} else {
-			logq := math.Log1p(-p)
-			idx := -1
-			total := nLeft * nRight
-			for {
-				skip := int(math.Floor(math.Log(1-src.Float64()) / logq))
-				idx += 1 + skip
-				if idx >= total {
-					break
-				}
-				u, v := idx/nRight, idx%nRight
-				b.AddEdge(graph.Vertex(u), graph.Vertex(nLeft+v))
-			}
-		}
-	}
-	return b.MustBuild()
+	return buildStreamed(nLeft+nRight, func(emit EdgeEmitter) {
+		EmitRandomBipartite(seed, nLeft, nRight, p, emit)
+	})
 }
 
 // RandomRegular returns a (near-)d-regular graph via the configuration
@@ -181,28 +128,12 @@ func RandomRegular(seed uint64, n, d int) *graph.Graph {
 
 // Grid returns the rows×cols grid graph.
 func Grid(rows, cols int) *graph.Graph {
-	b := graph.NewBuilder(rows * cols)
-	id := func(r, c int) graph.Vertex { return graph.Vertex(r*cols + c) }
-	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
-			if c+1 < cols {
-				b.AddEdge(id(r, c), id(r, c+1))
-			}
-			if r+1 < rows {
-				b.AddEdge(id(r, c), id(r+1, c))
-			}
-		}
-	}
-	return b.MustBuild()
+	return buildStreamed(rows*cols, func(emit EdgeEmitter) { EmitGrid(rows, cols, emit) })
 }
 
 // Star returns a star with one center (vertex 0) and n-1 leaves.
 func Star(n int) *graph.Graph {
-	b := graph.NewBuilder(n)
-	for v := 1; v < n; v++ {
-		b.AddEdge(0, graph.Vertex(v))
-	}
-	return b.MustBuild()
+	return buildStreamed(n, func(emit EdgeEmitter) { EmitStar(n, emit) })
 }
 
 // Clique returns the complete graph K_n.

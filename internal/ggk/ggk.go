@@ -80,6 +80,7 @@ func Run(ctx context.Context, g *graph.Graph, cfg solver.Config) (*Result, error
 		}
 	}
 	m := g.NumEdges()
+	epFlat := g.EdgeEndpoints() // flat (u,v) pairs; epFlat[2e], epFlat[2e+1] = endpoints of e
 	res := &Result{
 		Cover: make([]bool, n),
 		X:     make([]float64, m),
@@ -197,7 +198,7 @@ func Run(ctx context.Context, g *graph.Graph, cfg solver.Config) (*Result, error
 			if edgeFrozen[e] {
 				continue
 			}
-			u, v := g.Edge(graph.EdgeID(e))
+			u, v := epFlat[2*e], epFlat[2*e+1]
 			if machineOf[u] >= 0 && machineOf[u] == machineOf[v] {
 				localDeg[u]++
 				localDeg[v]++
@@ -328,7 +329,7 @@ func Run(ctx context.Context, g *graph.Graph, cfg solver.Config) (*Result, error
 	// Dual violation factor (unit weights: α = max incident sum).
 	incident := make([]float64, n)
 	for e := 0; e < m; e++ {
-		u, v := g.Edge(graph.EdgeID(e))
+		u, v := epFlat[2*e], epFlat[2*e+1]
 		incident[u] += res.X[e]
 		incident[v] += res.X[e]
 	}

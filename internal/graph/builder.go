@@ -2,13 +2,19 @@ package graph
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Builder accumulates vertices and edges and produces an immutable Graph.
 // Vertices are pre-declared by count; weights default to 1 and may be
 // overridden with SetWeight. Duplicate edges are merged; self-loops are
 // rejected at Build time.
+//
+// Builder buffers the edge list in memory and is the convenience path for
+// generators and tests; Build replays the buffered list through a
+// CSRBuilder, so the assembled arrays are identical to the streaming path's
+// and no comparison sort over the m edges is performed. For instances too
+// large to buffer, stream edges through a CSRBuilder directly (or
+// ReadStream, for on-disk instances).
 type Builder struct {
 	n       int
 	weights []float64
@@ -57,83 +63,25 @@ func (b *Builder) AddEdge(u, v Vertex) *Builder {
 // deduplication).
 func (b *Builder) NumPendingEdges() int { return len(b.pairs) }
 
-// Build validates and freezes the accumulated data into a Graph.
+// Build validates and freezes the accumulated data into a Graph by replaying
+// the buffered edge list through a two-pass CSRBuilder.
 func (b *Builder) Build() (*Graph, error) {
-	n := b.n
-	for v, w := range b.weights {
-		if !(w > 0) {
-			return nil, fmt.Errorf("graph: vertex %d has non-positive weight %v", v, w)
-		}
-	}
-	norm := make([][2]Vertex, 0, len(b.pairs))
+	c := NewCSRBuilder(b.n)
+	c.SetWeights(b.weights)
 	for _, p := range b.pairs {
-		u, v := p[0], p[1]
-		if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
-			return nil, fmt.Errorf("graph: edge (%d,%d) has endpoint out of range [0,%d)", u, v, n)
-		}
-		if u == v {
-			return nil, fmt.Errorf("graph: self-loop at vertex %d", u)
-		}
-		if u > v {
-			u, v = v, u
-		}
-		norm = append(norm, [2]Vertex{u, v})
-	}
-	sort.Slice(norm, func(i, j int) bool {
-		if norm[i][0] != norm[j][0] {
-			return norm[i][0] < norm[j][0]
-		}
-		return norm[i][1] < norm[j][1]
-	})
-	edges := norm[:0]
-	for i, p := range norm {
-		if i == 0 || p != norm[i-1] {
-			edges = append(edges, p)
+		if err := c.CountEdge(p[0], p[1]); err != nil {
+			return nil, err
 		}
 	}
-	m := len(edges)
-
-	deg := make([]int64, n)
-	for _, p := range edges {
-		deg[p[0]]++
-		deg[p[1]]++
+	if err := c.EndCount(); err != nil {
+		return nil, err
 	}
-	offsets := make([]int64, n+1)
-	for v := 0; v < n; v++ {
-		offsets[v+1] = offsets[v] + deg[v]
+	for _, p := range b.pairs {
+		if err := c.AddEdge(p[0], p[1]); err != nil {
+			return nil, err
+		}
 	}
-	neighbors := make([]Vertex, 2*m)
-	slotEdges := make([]EdgeID, 2*m)
-	cursor := make([]int64, n)
-	copy(cursor, offsets[:n])
-	// Edges are sorted by (min, max); inserting in edge order yields sorted
-	// adjacency for the min endpoint but not the max, so sort rows afterward.
-	for e, p := range edges {
-		u, v := p[0], p[1]
-		neighbors[cursor[u]], slotEdges[cursor[u]] = v, EdgeID(e)
-		cursor[u]++
-		neighbors[cursor[v]], slotEdges[cursor[v]] = u, EdgeID(e)
-		cursor[v]++
-	}
-	for v := 0; v < n; v++ {
-		lo, hi := offsets[v], offsets[v+1]
-		row := neighbors[lo:hi]
-		ids := slotEdges[lo:hi]
-		sort.Sort(&adjacencyRow{row, ids})
-	}
-
-	weights := make([]float64, n)
-	copy(weights, b.weights)
-	edgeCopy := make([][2]Vertex, m)
-	copy(edgeCopy, edges)
-	g := &Graph{
-		weights:   weights,
-		offsets:   offsets,
-		neighbors: neighbors,
-		slotEdges: slotEdges,
-		edges:     edgeCopy,
-	}
-	return g, nil
+	return c.Build()
 }
 
 // MustBuild is Build but panics on error; for tests and generators whose
@@ -144,18 +92,6 @@ func (b *Builder) MustBuild() *Graph {
 		panic(err)
 	}
 	return g
-}
-
-type adjacencyRow struct {
-	nbr []Vertex
-	ids []EdgeID
-}
-
-func (r *adjacencyRow) Len() int           { return len(r.nbr) }
-func (r *adjacencyRow) Less(i, j int) bool { return r.nbr[i] < r.nbr[j] }
-func (r *adjacencyRow) Swap(i, j int) {
-	r.nbr[i], r.nbr[j] = r.nbr[j], r.nbr[i]
-	r.ids[i], r.ids[j] = r.ids[j], r.ids[i]
 }
 
 // FromEdgeList builds a graph directly from an edge list and weights; a

@@ -1,0 +1,246 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// randomPairs returns a deterministic edge stream with duplicates and both
+// orientations represented.
+func randomPairs(seed uint64, n, count int) [][2]Vertex {
+	src := rng.New(seed).Split('c', 's', 'r')
+	pairs := make([][2]Vertex, 0, count)
+	for len(pairs) < count {
+		u := Vertex(src.Intn(n))
+		v := Vertex(src.Intn(n))
+		if u == v {
+			continue
+		}
+		pairs = append(pairs, [2]Vertex{u, v})
+		if src.Intn(4) == 0 { // sprinkle duplicates, sometimes flipped
+			if src.Intn(2) == 0 {
+				u, v = v, u
+			}
+			pairs = append(pairs, [2]Vertex{u, v})
+		}
+	}
+	return pairs
+}
+
+func buildViaCSR(t *testing.T, n int, pairs [][2]Vertex, weights []float64) *Graph {
+	t.Helper()
+	c := NewCSRBuilder(n)
+	if weights != nil {
+		c.SetWeights(weights)
+	}
+	for _, p := range pairs {
+		if err := c.CountEdge(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.EndCount(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		if err := c.AddEdge(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestCSRBuilderMatchesBuilder pins the bit-for-bit equivalence of the
+// streaming and buffered construction paths: same edge multiset in, same
+// serialized graph out — including edge id assignment, which downstream
+// per-edge state depends on.
+func TestCSRBuilderMatchesBuilder(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		n := 50 + int(seed)*37
+		pairs := randomPairs(seed, n, 400)
+		weights := make([]float64, n)
+		wsrc := rng.New(seed).Split('w')
+		for i := range weights {
+			weights[i] = 0.5 + 10*wsrc.Float64()
+		}
+
+		ref, err := FromEdgeList(n, pairs, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := buildViaCSR(t, n, pairs, weights)
+
+		if err := got.Validate(); err != nil {
+			t.Fatalf("seed %d: CSR-built graph invalid: %v", seed, err)
+		}
+		var refBuf, gotBuf bytes.Buffer
+		if err := Write(&refBuf, ref); err != nil {
+			t.Fatal(err)
+		}
+		if err := Write(&gotBuf, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(refBuf.Bytes(), gotBuf.Bytes()) {
+			t.Fatalf("seed %d: CSR-built graph differs from Builder-built graph", seed)
+		}
+		// Edge ids must agree slot-for-slot, not just the serialized edges.
+		for v := 0; v < n; v++ {
+			refIDs, gotIDs := ref.IncidentEdges(Vertex(v)), got.IncidentEdges(Vertex(v))
+			for i := range refIDs {
+				if refIDs[i] != gotIDs[i] {
+					t.Fatalf("seed %d: vertex %d slot %d edge id %d != %d", seed, v, i, gotIDs[i], refIDs[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCSRBuilderEmptyAndEdgeless(t *testing.T) {
+	g, err := NewCSRBuilder(0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph got n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	g, err = NewCSRBuilder(3).Build() // Build without EndCount is allowed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 0 {
+		t.Fatalf("edgeless graph got n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRBuilderErrors(t *testing.T) {
+	t.Run("self-loop", func(t *testing.T) {
+		if err := NewCSRBuilder(3).CountEdge(1, 1); err == nil {
+			t.Fatal("self-loop not rejected")
+		}
+	})
+	t.Run("out-of-range", func(t *testing.T) {
+		if err := NewCSRBuilder(3).CountEdge(0, 3); err == nil {
+			t.Fatal("out-of-range endpoint not rejected")
+		}
+	})
+	t.Run("add-before-endcount", func(t *testing.T) {
+		b := NewCSRBuilder(3)
+		if err := b.AddEdge(0, 1); err == nil {
+			t.Fatal("AddEdge before EndCount not rejected")
+		}
+	})
+	t.Run("count-after-endcount", func(t *testing.T) {
+		b := NewCSRBuilder(3)
+		if err := b.EndCount(); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.CountEdge(0, 1); err == nil {
+			t.Fatal("CountEdge after EndCount not rejected")
+		}
+	})
+	t.Run("pass-mismatch-extra", func(t *testing.T) {
+		b := NewCSRBuilder(3)
+		if err := b.CountEdge(0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.EndCount(); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddEdge(0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddEdge(0, 1); err == nil {
+			t.Fatal("excess pass-2 edge not rejected")
+		}
+	})
+	t.Run("pass-mismatch-missing", func(t *testing.T) {
+		b := NewCSRBuilder(3)
+		if err := b.CountEdge(0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.EndCount(); err != nil {
+			t.Fatal(err)
+		}
+		_, err := b.Build()
+		if err == nil || !strings.Contains(err.Error(), "pass 2") {
+			t.Fatalf("missing pass-2 edges: got %v", err)
+		}
+	})
+	t.Run("bad-weight", func(t *testing.T) {
+		b := NewCSRBuilder(2)
+		b.SetWeight(1, -3)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("negative weight not rejected")
+		}
+	})
+	t.Run("build-twice", func(t *testing.T) {
+		b := NewCSRBuilder(2)
+		if _, err := b.Build(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Build(); err == nil {
+			t.Fatal("second Build not rejected")
+		}
+	})
+}
+
+// emitChordRing streams the deterministic ~4n-edge instance used by the
+// build benchmarks; it is the "generator run twice" pattern of the
+// streaming path.
+func emitChordRing(n int, emit func(u, v Vertex)) {
+	for v := 0; v < n; v++ {
+		for k := 1; k <= 4; k++ {
+			emit(Vertex(v), Vertex((v+k)%n))
+		}
+	}
+}
+
+// BenchmarkGraphBuildSlice measures the buffered edge-list path (Builder):
+// the pair slice is the input representation, so its cost is charged here.
+func BenchmarkGraphBuildSlice(b *testing.B) {
+	n := 250000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bld := NewBuilder(n)
+		emitChordRing(n, func(u, v Vertex) { bld.AddEdge(u, v) })
+		if _, err := bld.Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGraphBuildCSRStream measures the streaming two-pass path
+// (CSRBuilder) fed by replaying a deterministic generator — no edge buffer
+// at all, only the final CSR arrays are allocated.
+func BenchmarkGraphBuildCSRStream(b *testing.B) {
+	n := 250000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := NewCSRBuilder(n)
+		emitChordRing(n, func(u, v Vertex) {
+			if err := c.CountEdge(u, v); err != nil {
+				b.Fatal(err)
+			}
+		})
+		if err := c.EndCount(); err != nil {
+			b.Fatal(err)
+		}
+		emitChordRing(n, func(u, v Vertex) {
+			if err := c.AddEdge(u, v); err != nil {
+				b.Fatal(err)
+			}
+		})
+		if _, err := c.Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

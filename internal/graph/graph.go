@@ -1,12 +1,3 @@
-// Package graph provides the immutable weighted-graph representation shared
-// by every algorithm in this repository.
-//
-// A Graph is an undirected simple graph in CSR (compressed sparse row) form
-// with positive float64 vertex weights. Each undirected edge has a stable
-// edge id in [0, NumEdges()); the adjacency structure stores, for every
-// directed slot, both the neighbor and the id of the underlying undirected
-// edge, so per-edge state (such as the dual variables x_e of the primal–dual
-// algorithm) can live in flat slices indexed by edge id.
 package graph
 
 import (
@@ -22,21 +13,35 @@ type Vertex = int32
 // EdgeID is the integer id of an undirected edge, in [0, NumEdges()).
 type EdgeID = int32
 
-// Graph is an immutable undirected simple graph with vertex weights.
-// Construct one with a Builder; the zero value is an empty graph.
+// Graph is an immutable undirected simple graph with vertex weights, stored
+// in CSR (compressed sparse row) form: four flat arrays and nothing else.
+// Construct one with a Builder or a CSRBuilder; the zero value is an empty
+// graph.
+//
+// Memory layout (n vertices, m undirected edges):
+//
+//	weights    n  × 8 bytes   vertex weights
+//	offsets  n+1  × 4 bytes   row offsets into neighbors/slotEdges
+//	neighbors 2m  × 4 bytes   adjacency targets, sorted per row
+//	slotEdges 2m  × 4 bytes   undirected edge id per adjacency slot
+//	endpoints 2m  × 4 bytes   edge id → (u, v) with u < v
+//
+// i.e. 8n + 12m + O(1) bytes for an unweighted graph's structure — about
+// 12 MB per million edges — with no per-vertex slice headers or pointers
+// for the garbage collector to trace.
 type Graph struct {
 	weights   []float64 // len n; positive vertex weights
-	offsets   []int64   // len n+1; CSR row offsets into neighbors/slotEdges
+	offsets   []uint32  // len n+1; CSR row offsets into neighbors/slotEdges
 	neighbors []Vertex  // len 2m; adjacency targets
 	slotEdges []EdgeID  // len 2m; undirected edge id per adjacency slot
-	edges     [][2]Vertex
+	endpoints []Vertex  // len 2m; endpoints[2e], endpoints[2e+1] = (u, v), u < v
 }
 
 // NumVertices returns n, the number of vertices.
 func (g *Graph) NumVertices() int { return len(g.weights) }
 
 // NumEdges returns m, the number of undirected edges.
-func (g *Graph) NumEdges() int { return len(g.edges) }
+func (g *Graph) NumEdges() int { return len(g.endpoints) / 2 }
 
 // Degree returns the number of edges incident to v.
 func (g *Graph) Degree(v Vertex) int {
@@ -58,8 +63,15 @@ func (g *Graph) IncidentEdges(v Vertex) []EdgeID {
 
 // Edge returns the endpoints (u, v) of edge e with u < v.
 func (g *Graph) Edge(e EdgeID) (Vertex, Vertex) {
-	return g.edges[e][0], g.edges[e][1]
+	return g.endpoints[2*e], g.endpoints[2*e+1]
 }
+
+// EdgeEndpoints returns the flat endpoint array: entry 2e is the smaller
+// endpoint of edge e and entry 2e+1 the larger. Edge ids are assigned in
+// lexicographic (min, max) order, so the array is sorted by pairs. It
+// aliases internal storage and must not be modified; per-edge hot loops
+// iterate it directly instead of calling Edge per id.
+func (g *Graph) EdgeEndpoints() []Vertex { return g.endpoints }
 
 // Weight returns the weight of vertex v.
 func (g *Graph) Weight(v Vertex) float64 { return g.weights[v] }
@@ -133,7 +145,7 @@ func (g *Graph) EdgeBetween(u, v Vertex) EdgeID {
 // Other returns the endpoint of edge e that is not v. It panics if v is not
 // an endpoint of e.
 func (g *Graph) Other(e EdgeID, v Vertex) Vertex {
-	a, b := g.edges[e][0], g.edges[e][1]
+	a, b := g.endpoints[2*e], g.endpoints[2*e+1]
 	switch v {
 	case a:
 		return b
@@ -154,7 +166,7 @@ func (g *Graph) Validate() error {
 	if g.offsets[0] != 0 {
 		return errors.New("graph: offsets[0] != 0")
 	}
-	if g.offsets[n] != int64(len(g.neighbors)) {
+	if g.offsets[n] != uint32(len(g.neighbors)) {
 		return errors.New("graph: offsets[n] != len(neighbors)")
 	}
 	if len(g.neighbors) != len(g.slotEdges) {
@@ -187,15 +199,15 @@ func (g *Graph) Validate() error {
 			if e < 0 || int(e) >= g.NumEdges() {
 				return fmt.Errorf("graph: edge id %d out of range at vertex %d", e, v)
 			}
-			a, b := g.edges[e][0], g.edges[e][1]
+			a, b := g.endpoints[2*e], g.endpoints[2*e+1]
 			if !(a == Vertex(v) && b == u) && !(b == Vertex(v) && a == u) {
 				return fmt.Errorf("graph: edge %d endpoints (%d,%d) do not match slot (%d,%d)", e, a, b, v, u)
 			}
 		}
 	}
-	for e, ep := range g.edges {
-		if ep[0] >= ep[1] {
-			return fmt.Errorf("graph: edge %d endpoints not ordered: (%d,%d)", e, ep[0], ep[1])
+	for e := 0; e < g.NumEdges(); e++ {
+		if g.endpoints[2*e] >= g.endpoints[2*e+1] {
+			return fmt.Errorf("graph: edge %d endpoints not ordered: (%d,%d)", e, g.endpoints[2*e], g.endpoints[2*e+1])
 		}
 	}
 	return nil

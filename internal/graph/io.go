@@ -2,133 +2,405 @@ package graph
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
+	"math"
+	"os"
 	"strconv"
-	"strings"
 )
 
-// The serialization format is a line-oriented text format:
+// Two line-oriented text formats are supported (specified in
+// docs/FORMATS.md):
 //
-//	mwvc-graph 1
+//	mwvc-graph 1          canonical format, written by Write
 //	<n> <m>
 //	w <v> <weight>        (one line per vertex whose weight differs from 1)
 //	e <u> <v>             (one line per undirected edge)
 //
-// Weights are written with full float64 round-trip precision. The format is
-// deliberately simple so instances can be produced or inspected with
+//	mwvc-el 1             streaming edge-list format, written by WriteEdgeList
+//	<n>
+//	w <v> <weight>        (w and e records in any order)
+//	e <u> <v>
+//
+// The canonical format declares the exact post-dedup edge count up front and
+// Read enforces it; the edge-list format omits it so producers can stream
+// edges without knowing the final count (duplicates are merged on read).
+// Weights are written with full float64 round-trip precision. Both formats
+// are deliberately simple so instances can be produced or inspected with
 // standard text tools.
 
-const formatHeader = "mwvc-graph 1"
+const (
+	formatHeader   = "mwvc-graph 1"
+	elFormatHeader = "mwvc-el 1"
+)
 
-// Write serializes g to w in the text format above.
+// Write serializes g in the canonical "mwvc-graph 1" text format. The output
+// is deterministic — header, weights in vertex order, edges in edge-id order
+// — which is what makes it usable as the content-hash preimage of the serve
+// store. The writer allocates one small scratch buffer regardless of graph
+// size.
 func Write(w io.Writer, g *Graph) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "%s\n%d %d\n", formatHeader, g.NumVertices(), g.NumEdges()); err != nil {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	buf := make([]byte, 0, 64)
+	buf = append(buf, formatHeader...)
+	buf = append(buf, '\n')
+	buf = strconv.AppendInt(buf, int64(g.NumVertices()), 10)
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, int64(g.NumEdges()), 10)
+	buf = append(buf, '\n')
+	if _, err := bw.Write(buf); err != nil {
 		return err
 	}
-	for v := 0; v < g.NumVertices(); v++ {
-		if wt := g.Weight(Vertex(v)); wt != 1 {
-			if _, err := fmt.Fprintf(bw, "w %d %s\n", v, strconv.FormatFloat(wt, 'g', -1, 64)); err != nil {
-				return err
-			}
-		}
-	}
-	for e := 0; e < g.NumEdges(); e++ {
-		u, v := g.Edge(EdgeID(e))
-		if _, err := fmt.Fprintf(bw, "e %d %d\n", u, v); err != nil {
-			return err
-		}
+	if err := writeRecords(bw, g, buf); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
 
-// Read parses a graph in the text format produced by Write.
-func Read(r io.Reader) (*Graph, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<26)
-	line := func() (string, bool) {
-		for sc.Scan() {
-			s := strings.TrimSpace(sc.Text())
-			if s != "" && !strings.HasPrefix(s, "#") {
-				return s, true
+// WriteEdgeList serializes g in the streaming "mwvc-el 1" text format (no
+// edge count in the header). Readable back by Read and ReadStream.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	buf := make([]byte, 0, 64)
+	buf = append(buf, elFormatHeader...)
+	buf = append(buf, '\n')
+	buf = strconv.AppendInt(buf, int64(g.NumVertices()), 10)
+	buf = append(buf, '\n')
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	if err := writeRecords(bw, g, buf); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeRecords emits the weight and edge records shared by both formats.
+func writeRecords(bw *bufio.Writer, g *Graph, buf []byte) error {
+	for v := 0; v < g.NumVertices(); v++ {
+		if wt := g.Weight(Vertex(v)); wt != 1 {
+			buf = append(buf[:0], 'w', ' ')
+			buf = strconv.AppendInt(buf, int64(v), 10)
+			buf = append(buf, ' ')
+			buf = strconv.AppendFloat(buf, wt, 'g', -1, 64)
+			buf = append(buf, '\n')
+			if _, err := bw.Write(buf); err != nil {
+				return err
 			}
 		}
-		return "", false
 	}
-	hdr, ok := line()
+	ep := g.EdgeEndpoints()
+	for i := 0; i < len(ep); i += 2 {
+		buf = append(buf[:0], 'e', ' ')
+		buf = strconv.AppendInt(buf, int64(ep[i]), 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, int64(ep[i+1]), 10)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recordSink receives the records of one scan over a graph file. sizes is
+// called exactly once (haveM reports whether the format carries an edge
+// count); weight and edge are called per record in file order. A nil weight
+// makes the scanner skip weight records without parsing their value (used
+// by ReadStream's second pass).
+type recordSink struct {
+	sizes  func(n, m int, haveM bool) error
+	weight func(v Vertex, wt float64) error
+	edge   func(u, v Vertex) error
+}
+
+// scanRecords parses either text format from r, feeding records to s. It
+// reads the input in one chunked pass (bufio, no full-file buffer) and
+// performs no per-line allocations on the hot edge-record path.
+func scanRecords(r io.Reader, s recordSink) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	next := func() ([]byte, bool) {
+		for sc.Scan() {
+			b := bytes.TrimSpace(sc.Bytes())
+			if len(b) != 0 && b[0] != '#' {
+				return b, true
+			}
+		}
+		return nil, false
+	}
+	hdr, ok := next()
 	if !ok {
-		return nil, fmt.Errorf("graph: empty input")
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("graph: empty input")
 	}
-	if hdr != formatHeader {
-		return nil, fmt.Errorf("graph: bad header %q, want %q", hdr, formatHeader)
+	var haveM bool
+	switch {
+	case bytes.Equal(hdr, []byte(formatHeader)):
+		haveM = true
+	case bytes.Equal(hdr, []byte(elFormatHeader)):
+		haveM = false
+	default:
+		return fmt.Errorf("graph: bad header %q, want %q or %q", hdr, formatHeader, elFormatHeader)
 	}
-	sizes, ok := line()
+	sizes, ok := next()
 	if !ok {
-		return nil, fmt.Errorf("graph: missing size line")
+		return fmt.Errorf("graph: missing size line")
 	}
-	var n, m int
-	if _, err := fmt.Sscanf(sizes, "%d %d", &n, &m); err != nil {
-		return nil, fmt.Errorf("graph: bad size line %q: %w", sizes, err)
+	var f0, f1, f2 []byte
+	nf, err := splitFields3(sizes, &f0, &f1, &f2)
+	if err != nil {
+		return fmt.Errorf("graph: bad size line %q", sizes)
+	}
+	var n, m int64
+	if haveM {
+		if nf != 2 {
+			return fmt.Errorf("graph: bad size line %q, want \"<n> <m>\"", sizes)
+		}
+		if n, ok = parseInt(f0); !ok {
+			return fmt.Errorf("graph: bad size line %q", sizes)
+		}
+		if m, ok = parseInt(f1); !ok {
+			return fmt.Errorf("graph: bad size line %q", sizes)
+		}
+	} else {
+		if nf != 1 {
+			return fmt.Errorf("graph: bad size line %q, want \"<n>\"", sizes)
+		}
+		if n, ok = parseInt(f0); !ok {
+			return fmt.Errorf("graph: bad size line %q", sizes)
+		}
 	}
 	if n < 0 || m < 0 {
-		return nil, fmt.Errorf("graph: negative sizes in %q", sizes)
+		return fmt.Errorf("graph: negative sizes in %q", sizes)
 	}
-	b := NewBuilder(n)
-	edgesSeen := 0
+	if err := s.sizes(int(n), int(m), haveM); err != nil {
+		return err
+	}
 	for {
-		s, ok := line()
+		line, ok := next()
 		if !ok {
 			break
 		}
-		fields := strings.Fields(s)
-		switch fields[0] {
-		case "w":
-			if len(fields) != 3 {
-				return nil, fmt.Errorf("graph: bad weight line %q", s)
+		nf, err := splitFields3(line, &f0, &f1, &f2)
+		if err != nil || nf != 3 {
+			return fmt.Errorf("graph: bad record %q", line)
+		}
+		switch {
+		case len(f0) == 1 && f0[0] == 'e':
+			// Vertex must fit int32 before the cast; ids beyond that would
+			// silently truncate. The [0, n) range check is the sink's job.
+			u, ok1 := parseInt(f1)
+			v, ok2 := parseInt(f2)
+			if !ok1 || !ok2 || u > math.MaxInt32 || v > math.MaxInt32 || u < math.MinInt32 || v < math.MinInt32 {
+				return fmt.Errorf("graph: bad endpoint in %q", line)
 			}
-			v, err := strconv.Atoi(fields[1])
+			if err := s.edge(Vertex(u), Vertex(v)); err != nil {
+				return err
+			}
+		case len(f0) == 1 && f0[0] == 'w':
+			v, ok1 := parseInt(f1)
+			if !ok1 || v > math.MaxInt32 || v < math.MinInt32 {
+				return fmt.Errorf("graph: bad vertex in %q", line)
+			}
+			if s.weight == nil {
+				continue // pass-2 rescan: weights already collected
+			}
+			wt, err := strconv.ParseFloat(string(f2), 64)
 			if err != nil {
-				return nil, fmt.Errorf("graph: bad vertex in %q: %w", s, err)
+				return fmt.Errorf("graph: bad weight in %q: %w", line, err)
 			}
-			if v < 0 || v >= n {
-				return nil, fmt.Errorf("graph: vertex %d out of range in %q", v, s)
+			if err := s.weight(Vertex(v), wt); err != nil {
+				return err
 			}
-			wt, err := strconv.ParseFloat(fields[2], 64)
-			if err != nil {
-				return nil, fmt.Errorf("graph: bad weight in %q: %w", s, err)
-			}
-			b.SetWeight(Vertex(v), wt)
-		case "e":
-			if len(fields) != 3 {
-				return nil, fmt.Errorf("graph: bad edge line %q", s)
-			}
-			u, err := strconv.Atoi(fields[1])
-			if err != nil {
-				return nil, fmt.Errorf("graph: bad endpoint in %q: %w", s, err)
-			}
-			v, err := strconv.Atoi(fields[2])
-			if err != nil {
-				return nil, fmt.Errorf("graph: bad endpoint in %q: %w", s, err)
-			}
-			b.AddEdge(Vertex(u), Vertex(v))
-			edgesSeen++
 		default:
-			return nil, fmt.Errorf("graph: unknown record %q", s)
+			return fmt.Errorf("graph: unknown record %q", line)
 		}
 	}
-	if err := sc.Err(); err != nil {
+	return sc.Err()
+}
+
+// splitFields3 splits line on ASCII whitespace into at most three fields
+// without allocating. It returns the field count, or an error for more than
+// three fields.
+func splitFields3(line []byte, f0, f1, f2 *[]byte) (int, error) {
+	n := 0
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		start := i
+		for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+			i++
+		}
+		switch n {
+		case 0:
+			*f0 = line[start:i]
+		case 1:
+			*f1 = line[start:i]
+		case 2:
+			*f2 = line[start:i]
+		default:
+			return n, fmt.Errorf("too many fields")
+		}
+		n++
+	}
+	return n, nil
+}
+
+// parseInt parses a decimal integer (with optional leading '-') from b
+// without allocating.
+func parseInt(b []byte) (int64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	neg := false
+	i := 0
+	if b[0] == '-' {
+		neg = true
+		i = 1
+		if len(b) == 1 {
+			return 0, false
+		}
+	}
+	var x int64
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		if x > (1<<62)/10 {
+			return 0, false
+		}
+		x = x*10 + int64(c-'0')
+	}
+	if neg {
+		x = -x
+	}
+	return x, true
+}
+
+// Read parses a graph in either text format from a one-shot stream. It
+// buffers the edge list in a Builder, so it works for non-seekable sources
+// (network bodies, pipes); for on-disk instances prefer ReadStream or
+// OpenFile, which build the CSR arrays in two passes with no edge-list
+// buffer.
+func Read(r io.Reader) (*Graph, error) {
+	var b *Builder
+	declaredM := -1
+	edgesSeen := 0
+	err := scanRecords(r, recordSink{
+		sizes: func(n, m int, haveM bool) error {
+			b = NewBuilder(n)
+			if haveM {
+				declaredM = m
+			}
+			return nil
+		},
+		weight: func(v Vertex, wt float64) error {
+			if v < 0 || int(v) >= b.NumVertices() {
+				return fmt.Errorf("graph: weight vertex %d out of range [0,%d)", v, b.NumVertices())
+			}
+			b.SetWeight(v, wt)
+			return nil
+		},
+		edge: func(u, v Vertex) error {
+			b.AddEdge(u, v)
+			edgesSeen++
+			return nil
+		},
+	})
+	if err != nil {
 		return nil, err
 	}
-	if edgesSeen != m {
-		return nil, fmt.Errorf("graph: header declares %d edges, found %d", m, edgesSeen)
+	if declaredM >= 0 && edgesSeen != declaredM {
+		return nil, fmt.Errorf("graph: header declares %d edges, found %d", declaredM, edgesSeen)
 	}
 	g, err := b.Build()
 	if err != nil {
 		return nil, err
 	}
-	if g.NumEdges() != m {
-		return nil, fmt.Errorf("graph: %d edges after dedup, header declares %d", g.NumEdges(), m)
+	if declaredM >= 0 && g.NumEdges() != declaredM {
+		return nil, fmt.Errorf("graph: %d edges after dedup, header declares %d", g.NumEdges(), declaredM)
 	}
 	return g, nil
+}
+
+// ReadStream parses a graph in either text format from a seekable source by
+// scanning it twice: pass 1 counts degrees and collects weights, pass 2
+// places every edge at its final CSR position. Peak memory is the final
+// graph plus one n-sized scratch array — there is no intermediate edge-list
+// buffer, which is what admits instances in the paper's regime (millions of
+// edges) on ordinary machines.
+func ReadStream(rs io.ReadSeeker) (*Graph, error) {
+	var c *CSRBuilder
+	declaredM := -1
+	counted := 0
+	err := scanRecords(rs, recordSink{
+		sizes: func(n, m int, haveM bool) error {
+			c = NewCSRBuilder(n)
+			if haveM {
+				declaredM = m
+			}
+			return nil
+		},
+		weight: func(v Vertex, wt float64) error {
+			if v < 0 || int(v) >= c.NumVertices() {
+				return fmt.Errorf("graph: weight vertex %d out of range [0,%d)", v, c.NumVertices())
+			}
+			c.SetWeight(v, wt)
+			return nil
+		},
+		edge: func(u, v Vertex) error {
+			counted++
+			return c.CountEdge(u, v)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if declaredM >= 0 && counted != declaredM {
+		return nil, fmt.Errorf("graph: header declares %d edges, found %d", declaredM, counted)
+	}
+	if err := c.EndCount(); err != nil {
+		return nil, err
+	}
+	if _, err := rs.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("graph: rewinding for pass 2: %w", err)
+	}
+	// A nil weight sink tells the scanner to skip weight records entirely
+	// (no float re-parsing on the rescan).
+	err = scanRecords(rs, recordSink{
+		sizes: func(n, m int, haveM bool) error { return nil },
+		edge:  c.AddEdge,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g, err := c.Build()
+	if err != nil {
+		return nil, err
+	}
+	if declaredM >= 0 && g.NumEdges() != declaredM {
+		return nil, fmt.Errorf("graph: %d edges after dedup, header declares %d", g.NumEdges(), declaredM)
+	}
+	return g, nil
+}
+
+// OpenFile reads a graph file (either text format) via the two-pass
+// streaming path.
+func OpenFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadStream(f)
 }

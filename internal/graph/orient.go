@@ -18,8 +18,9 @@ type Orientation struct {
 // degenerate d(v)=0 case never arise because such vertices have no edges.
 func Orient(g *Graph, ratio []float64) *Orientation {
 	tail := make([]Vertex, g.NumEdges())
+	ep := g.EdgeEndpoints()
 	for e := 0; e < g.NumEdges(); e++ {
-		u, v := g.Edge(EdgeID(e))
+		u, v := ep[2*e], ep[2*e+1]
 		switch {
 		case ratio[u] < ratio[v]:
 			tail[e] = u

@@ -33,8 +33,9 @@ type Matching struct {
 // Greedy computes a maximal matching by a single edge scan.
 func Greedy(g *graph.Graph) *Matching {
 	m := newMatching(g)
+	ep := g.EdgeEndpoints()
 	for e := 0; e < g.NumEdges(); e++ {
-		u, v := g.Edge(graph.EdgeID(e))
+		u, v := ep[2*e], ep[2*e+1]
 		if m.Mate[u] < 0 && m.Mate[v] < 0 {
 			m.add(g, graph.EdgeID(e))
 		}
@@ -86,8 +87,9 @@ func (m *Matching) Verify(g *graph.Graph, requireMaximal bool) error {
 		}
 	}
 	if requireMaximal {
+		ep := g.EdgeEndpoints()
 		for e := 0; e < g.NumEdges(); e++ {
-			u, v := g.Edge(graph.EdgeID(e))
+			u, v := ep[2*e], ep[2*e+1]
 			if m.Mate[u] < 0 && m.Mate[v] < 0 {
 				return fmt.Errorf("matching: edge %d could be added (not maximal)", e)
 			}
@@ -234,8 +236,9 @@ func Distributed(g *graph.Graph, seed uint64) (*DistributedResult, error) {
 		// Driver bookkeeping: count remaining active edges (termination is
 		// a constant-round aggregation in a real deployment; accounted).
 		remaining = 0
+		ep := g.EdgeEndpoints()
 		for e := 0; e < g.NumEdges(); e++ {
-			u, v := g.Edge(graph.EdgeID(e))
+			u, v := ep[2*e], ep[2*e+1]
 			if !matched[u] && !matched[v] {
 				remaining++
 			}

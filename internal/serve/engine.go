@@ -1,18 +1,3 @@
-// Package serve is the solve-as-a-service engine: a bounded worker pool
-// pulling solve requests off a FIFO queue, fronted by a content-addressed
-// graph store and a solution cache, with per-request deadlines, live
-// round-by-round traces and aggregate metrics fed from the solver's
-// Observer event stream.
-//
-// The engine is transport-agnostic; http.go exposes it over HTTP and
-// cmd/mwvc-serve is the binary. The division of labor with the facade is
-// strict: the engine never reimplements solving — every request goes through
-// mwvc.Solve (registry dispatch, cover verification, certificate checking),
-// which is safe for concurrent use; the engine adds admission control
-// (backpressure via ErrQueueFull), resource partitioning (Workers ×
-// SolverParallelism ≈ GOMAXPROCS) and result reuse (the cache keyed by
-// graph hash + solve parameters — solves are deterministic given a seed, so
-// a cached solution is indistinguishable from a fresh one).
 package serve
 
 import (
@@ -125,11 +110,19 @@ type cacheKey struct {
 // Status is a request's lifecycle state.
 type Status string
 
+// The request lifecycle: queued → running → done | failed. A cache hit at
+// admission goes straight to done.
 const (
-	StatusQueued  Status = "queued"
+	// StatusQueued marks a request admitted to the FIFO queue, not yet
+	// picked up by a worker.
+	StatusQueued Status = "queued"
+	// StatusRunning marks a request whose solve is in flight.
 	StatusRunning Status = "running"
-	StatusDone    Status = "done"
-	StatusFailed  Status = "failed"
+	// StatusDone marks a completed request whose Solution is available.
+	StatusDone Status = "done"
+	// StatusFailed marks a request that ended in an error (including a
+	// blown deadline or engine shutdown).
+	StatusFailed Status = "failed"
 )
 
 // Engine errors surfaced by Submit.

@@ -14,9 +14,12 @@ import (
 	"repro/internal/solver"
 )
 
-// maxGraphUpload bounds a POST /v1/graphs body; the text format runs about
+// maxGraphUpload bounds a POST /v1/graphs body; the text formats run about
 // 12 bytes per edge, so this admits graphs into the hundred-million-edge
-// range while keeping a hostile upload from exhausting memory.
+// range while keeping a hostile upload from exhausting memory. Uploads may
+// use either the canonical "mwvc-graph 1" format or the streaming
+// "mwvc-el 1" edge-list format (docs/FORMATS.md); the stored graph and its
+// content hash are canonical regardless.
 const maxGraphUpload = 1 << 31
 
 // NewHandler exposes the engine over HTTP:

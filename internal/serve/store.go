@@ -11,8 +11,11 @@ import (
 
 // HashGraph returns the content address of g: "sha256:" plus the hex digest
 // of its canonical text serialization (graph.Write is deterministic — header,
-// weights in vertex order, edges in id order — so isomorphic uploads with the
-// same vertex numbering always collapse to one stored graph).
+// weights in vertex order, edges in id order — so re-uploads of the same
+// instance, whatever their on-wire format, record order, or duplicate edges,
+// always collapse to one stored graph). The canonical bytes stream straight
+// into the digest as they are produced; no serialization buffer is
+// materialized. See docs/FORMATS.md for the canonicalization rule.
 func HashGraph(g *graph.Graph) (string, error) {
 	h := sha256.New()
 	if err := graph.Write(h, g); err != nil {

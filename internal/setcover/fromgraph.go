@@ -11,8 +11,9 @@ func FromGraph(g *graph.Graph) *Instance {
 		Weights:  append([]float64(nil), g.Weights()...),
 		Elements: make([][]int, g.NumEdges()),
 	}
+	ep := g.EdgeEndpoints()
 	for e := 0; e < g.NumEdges(); e++ {
-		u, v := g.Edge(graph.EdgeID(e))
+		u, v := ep[2*e], ep[2*e+1]
 		in.Elements[e] = []int{int(u), int(v)}
 	}
 	return in

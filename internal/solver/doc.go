@@ -1,0 +1,25 @@
+// Package solver defines the pluggable-solver contract shared by every
+// algorithm package in the repository and the registry the public facade
+// dispatches through.
+//
+// Each algorithm package (core, centralized, baselines, cclique, ggk,
+// exact) registers a named Solver from an init function in its
+// register.go; the facade (package mwvc), the CLI -algo flag, and the
+// Algorithms() listing all derive from the one registration table, so they
+// cannot drift. Config carries the cross-algorithm parameters (ε, seed,
+// parallelism, constants preset); Outcome is what a solver returns before
+// the facade verifies it.
+//
+// The package sits below every algorithm package (it imports only
+// internal/graph), which is what lets the algorithm packages both
+// implement the interface and emit Observer events without import cycles.
+//
+// # Observer stream
+//
+// Solvers report progress through the Observer/Event stream defined here:
+// phase starts and ends, per-round active-edge counts, the running dual
+// bound. The same events back `cmd/mwvc -trace`, the solve service's SSE
+// trace endpoint, and the experiment tables — one instrumentation point,
+// three consumers. See docs/ARCHITECTURE.md for where the registry sits in
+// the system.
+package solver

@@ -22,6 +22,8 @@ const (
 	KindFinalPhase
 )
 
+// String returns the kind's wire name (used by CLI traces and the solve
+// service's SSE event names).
 func (k EventKind) String() string {
 	switch k {
 	case KindPhaseStart:

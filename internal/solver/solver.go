@@ -1,15 +1,3 @@
-// Package solver defines the pluggable-solver contract shared by every
-// algorithm package in the repository and the registry the public facade
-// dispatches through.
-//
-// Each algorithm package (core, centralized, baselines, cclique, ggk, exact)
-// registers a named Solver from an init function in its register.go; the
-// facade (package mwvc), the CLI -algo flag, and the Algorithms() listing all
-// derive from the one registration table, so they cannot drift.
-//
-// The package sits below every algorithm package (it imports only
-// internal/graph), which is what lets the algorithm packages both implement
-// the interface and emit Observer events without import cycles.
 package solver
 
 import (

@@ -19,8 +19,9 @@ const Tolerance = 1e-9
 // IsCover reports whether the vertex set marked true in cover touches every
 // edge of g. If not, it returns one uncovered edge id as a witness.
 func IsCover(g *graph.Graph, cover []bool) (ok bool, witness graph.EdgeID) {
+	ep := g.EdgeEndpoints()
 	for e := 0; e < g.NumEdges(); e++ {
-		u, v := g.Edge(graph.EdgeID(e))
+		u, v := ep[2*e], ep[2*e+1]
 		if !cover[u] && !cover[v] {
 			return false, graph.EdgeID(e)
 		}

@@ -60,10 +60,17 @@ type Vertex = graph.Vertex
 // default; set weights with SetWeight).
 func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
 
-// ReadGraph parses a graph in the repository's text format.
+// ReadGraph parses a graph in either of the repository's text formats
+// (docs/FORMATS.md) from a one-shot stream, buffering the edge list in
+// memory. For large on-disk instances prefer ReadGraphFile, which builds
+// the CSR arrays in two bounded-memory streaming passes.
 func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
 
-// WriteGraph serializes a graph in the repository's text format.
+// ReadGraphFile reads a graph file via the two-pass streaming ingestion
+// path: no in-memory edge-list buffer, peak memory ≈ the final graph.
+func ReadGraphFile(path string) (*Graph, error) { return graph.OpenFile(path) }
+
+// WriteGraph serializes a graph in the repository's canonical text format.
 func WriteGraph(w io.Writer, g *Graph) error { return graph.Write(w, g) }
 
 // RandomGraph returns an Erdős–Rényi graph with the given expected average

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Pins the README quickstart against flag drift: every `go run ./cmd/...`
+# command inside README.md's ```sh blocks must run successfully with the
+# current binaries. Commands that need a live server (curl / localhost /
+# loadclient) are covered by the CI serve-smoke job instead and are skipped
+# here. A command carrying -timeout may legitimately exit nonzero on a slow
+# machine — but only with the documented "deadline exceeded after N rounds"
+# message; any other failure is drift and fails the check.
+#
+# Invoked by `make readme-check` and the CI docs job.
+set -u
+cd "$(dirname "$0")/.."
+
+# The quickstart writes instance files (e.g. big.el) into the repo root;
+# remove them when done — but only the ones this run created, never a
+# developer's pre-existing files. Kept in sync with .gitignore.
+preexisting=$(ls ./*.el instance.txt 2>/dev/null || true)
+was_preexisting() {
+  printf '%s\n' "$preexisting" | grep -Fxq -- "$1"
+}
+cleanup() {
+  for f in ./*.el instance.txt; do
+    [ -e "$f" ] || continue
+    was_preexisting "$f" || rm -f "$f"
+  done
+}
+trap cleanup EXIT
+
+fail=0
+ran=0
+while IFS= read -r cmd; do
+  case "$cmd" in
+    *curl* | *localhost* | *loadclient*) continue ;;
+  esac
+  echo "readme-check: $cmd"
+  out=$(eval "$cmd" 2>&1 >/dev/null)
+  status=$?
+  if [ $status -ne 0 ]; then
+    case "$cmd" in
+      *-timeout*)
+        if printf '%s' "$out" | grep -q "deadline exceeded after"; then
+          echo "readme-check:   (documented deadline exit accepted)"
+          ran=$((ran + 1))
+          continue
+        fi
+        ;;
+    esac
+    echo "readme-check: FAILED (exit $status): $cmd" >&2
+    printf '%s\n' "$out" | tail -5 >&2
+    fail=1
+  fi
+  ran=$((ran + 1))
+done < <(awk '/^```sh/{b=1; next} /^```/{b=0} b' README.md |
+  sed 's/ *|.*$//' |
+  grep -E '^ *go run \./cmd/')
+
+# The extraction itself is part of the pin: if a README restructure stops
+# producing commands, fail loudly instead of green-lighting nothing.
+if [ "$ran" -lt 3 ]; then
+  echo "readme-check: only $ran command(s) extracted from README.md; expected at least 3" >&2
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "readme-check: ok ($ran commands)"
