@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-json lint fmt tables serve docs-check readme-check
+.PHONY: all build test bench bench-json bench-regress lint fmt tables serve docs-check readme-check
 
 all: lint test
 
@@ -12,6 +12,7 @@ serve:
 	$(GO) run ./cmd/mwvc-serve
 
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
 
 # Per-algorithm micro-benchmarks plus the quick-mode experiment benches.
@@ -20,9 +21,18 @@ bench:
 
 # Refresh the tracked perf snapshot: rolls BENCH.json's current numbers into
 # its baseline and measures the fixed MPC workload matrix (ns/op, allocs/op,
-# words routed per round).
+# words routed per round), the million-edge streaming tier, and the
+# kernelization tier (reduce+solve vs solve-alone on a pendant-heavy
+# 1M-edge instance).
 bench-json:
 	$(GO) run ./cmd/mwvc-bench -json BENCH.json
+
+# bench-json with the regression gate armed: fails on >1.5x ns/op or
+# allocs/op regressions against the snapshot's baseline, and on the kernel
+# tier whenever reduce+solve does not beat solve-alone. A failed gate
+# leaves BENCH.json untouched.
+bench-regress:
+	$(GO) run ./cmd/mwvc-bench -json BENCH.json -regress 1.5
 
 lint:
 	$(GO) vet ./...

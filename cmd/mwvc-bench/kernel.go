@@ -1,0 +1,101 @@
+package main
+
+// Kernelization tier of the perf snapshot (-json): a sparse, pendant-heavy
+// million-edge instance (a preferential-attachment tree — the fringe shape
+// of real-world sparse graphs) solved twice with the paper's MPC algorithm:
+// once on the raw graph (mwvc.WithoutReduction) and once through the full
+// Reduce→Solve→Lift pipeline. The two wall-clock times are the tier's
+// before/after pair, and the -regress gate enforces the feature claim:
+// reduce+solve end-to-end must beat solve-alone on this tier.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	mwvc "repro"
+	"repro/internal/gen"
+)
+
+// kernelTierSpec fixes the measured instance: a preferential-attachment
+// tree on 2^20 vertices (n-1 ≈ 1.05M edges, unit weights), which the
+// pendant rule collapses completely.
+var kernelTierSpec = struct {
+	name string
+	n    int
+	k    int
+	seed uint64
+}{"n1m_pa_kernel", 1 << 20, 1, 1}
+
+// kernelTier is the kernelization cell of the snapshot.
+type kernelTier struct {
+	Name  string `json:"name"`
+	N     int    `json:"n"`
+	Edges int    `json:"edges"`
+
+	// Kernel size and per-stage cost of the reduced solve.
+	KernelVertices int   `json:"kernel_vertices"`
+	KernelEdges    int   `json:"kernel_edges"`
+	ReduceNs       int64 `json:"reduce_ns"`
+
+	// SolveAloneNs is one raw mwvc.Solve (WithoutReduction) wall clock;
+	// ReducedSolveNs the full reduce+solve+lift+verify pipeline on the same
+	// instance and seed. The -regress gate requires the latter to win.
+	SolveAloneNs     int64 `json:"solve_alone_ns"`
+	ReducedSolveNs   int64 `json:"reduced_solve_ns"`
+	SolveAloneRounds int   `json:"solve_alone_rounds"`
+}
+
+func measureKernelTier() (*kernelTier, error) {
+	spec := kernelTierSpec
+	g := gen.PreferentialAttachment(spec.seed, spec.n, spec.k)
+	if g.NumEdges() < 1_000_000 {
+		return nil, fmt.Errorf("kernel tier: generated only %d edges, want >= 1M", g.NumEdges())
+	}
+	tier := &kernelTier{Name: spec.name, N: g.NumVertices(), Edges: g.NumEdges()}
+	ctx := context.Background()
+
+	t0 := time.Now()
+	solo, err := mwvc.Solve(ctx, g, mwvc.WithSeed(spec.seed), mwvc.WithoutReduction())
+	if err != nil {
+		return nil, fmt.Errorf("kernel tier (solve alone): %w", err)
+	}
+	tier.SolveAloneNs = time.Since(t0).Nanoseconds()
+	tier.SolveAloneRounds = solo.Rounds
+
+	t1 := time.Now()
+	red, err := mwvc.Solve(ctx, g, mwvc.WithSeed(spec.seed))
+	if err != nil {
+		return nil, fmt.Errorf("kernel tier (reduced solve): %w", err)
+	}
+	tier.ReducedSolveNs = time.Since(t1).Nanoseconds()
+	if red.Reduction == nil {
+		return nil, fmt.Errorf("kernel tier: reduced solve reported no kernel stats")
+	}
+	tier.KernelVertices = red.Reduction.KernelVertices
+	tier.KernelEdges = red.Reduction.KernelEdges
+	tier.ReduceNs = red.Reduction.ReduceNS
+
+	// Both covers are verified by the facade; the reduced one must also
+	// never be heavier (on this tier it is exact).
+	if red.Weight > solo.Weight+1e-9 {
+		return nil, fmt.Errorf("kernel tier: reduced cover weight %v above solve-alone %v", red.Weight, solo.Weight)
+	}
+	return tier, nil
+}
+
+// checkKernelTier enforces the tier's bounds. The reduction claim itself
+// (the rules must shrink this pendant-heavy instance) is absolute and holds
+// on every snapshot; the wall-clock claim (reduce+solve beats solve-alone)
+// is enforced by the -regress gate, like the matrix's relative gates.
+func checkKernelTier(t *kernelTier, regress float64) error {
+	if t.KernelEdges >= t.Edges || t.KernelVertices >= t.N {
+		return fmt.Errorf("kernel tier: reduction did not shrink the instance (n %d→%d, m %d→%d)",
+			t.N, t.KernelVertices, t.Edges, t.KernelEdges)
+	}
+	if regress > 0 && t.ReducedSolveNs >= t.SolveAloneNs {
+		return fmt.Errorf("kernel tier: reduce+solve %dms not faster than solve-alone %dms",
+			t.ReducedSolveNs/1e6, t.SolveAloneNs/1e6)
+	}
+	return nil
+}

@@ -41,12 +41,13 @@ type perfWorkload struct {
 }
 
 // perfSnapshot is one full measurement of the matrix plus the million-edge
-// streaming tier (stream.go).
+// streaming tier (stream.go) and the kernelization tier (kernel.go).
 type perfSnapshot struct {
 	Generated  string         `json:"generated"`
 	Go         string         `json:"go"`
 	Workloads  []perfWorkload `json:"workloads"`
 	StreamTier *streamTier    `json:"stream_tier,omitempty"`
+	KernelTier *kernelTier    `json:"kernel_tier,omitempty"`
 }
 
 // benchFile is the on-disk BENCH.json layout.
@@ -140,15 +141,35 @@ func runPerfSnapshot(path string, regress float64) error {
 		return err
 	}
 	cur.StreamTier = tier
+	rss := "unavailable on this platform"
+	if tier.MaxRSSBytes > 0 {
+		rss = fmt.Sprintf("%d MB", tier.MaxRSSBytes/(1<<20))
+	}
 	fmt.Printf("  %d edges, %0.1f MB on disk; build from edge-list text: slice %dms/%d allocs vs stream %dms/%d allocs; "+
-		"ingest %dms, solve %dms (%d rounds), peak RSS %d MB\n",
+		"ingest %dms, solve %dms (%d rounds), peak RSS %s\n",
 		tier.Edges, float64(tier.FileBytes)/(1<<20),
 		tier.SliceBuild.NsPerOp/1e6, tier.SliceBuild.AllocsPerOp,
 		tier.StreamBuild.NsPerOp/1e6, tier.StreamBuild.AllocsPerOp,
-		tier.IngestNs/1e6, tier.SolveNs/1e6, tier.Rounds, tier.MaxRSSBytes/(1<<20))
+		tier.IngestNs/1e6, tier.SolveNs/1e6, tier.Rounds, rss)
 	// The tier's bounds are absolute (RSS envelope, streaming allocs below
 	// buffered allocs): enforce them on every snapshot, gate or no gate.
 	if err := checkStreamTier(tier); err != nil {
+		return err
+	}
+
+	fmt.Printf("measuring %s (n=%d, preferential-attachment tree, reduce+solve vs solve-alone)...\n",
+		kernelTierSpec.name, kernelTierSpec.n)
+	kt, err := measureKernelTier()
+	if err != nil {
+		return err
+	}
+	cur.KernelTier = kt
+	fmt.Printf("  %d edges; solve-alone %dms (%d rounds) vs reduce+solve %dms (reduce %dms, kernel n=%d m=%d)\n",
+		kt.Edges, kt.SolveAloneNs/1e6, kt.SolveAloneRounds,
+		kt.ReducedSolveNs/1e6, kt.ReduceNs/1e6, kt.KernelVertices, kt.KernelEdges)
+	// The reduction claim is absolute; the wall-clock win is gated when
+	// -regress is set (a failed gate leaves the snapshot file untouched).
+	if err := checkKernelTier(kt, regress); err != nil {
 		return err
 	}
 

@@ -2,6 +2,8 @@
 
 package main
 
-// peakRSSBytes is unavailable on this platform; the stream tier's RSS gate
-// is skipped (checkStreamTier treats 0 as within bounds).
+// peakRSSBytes is unavailable on this platform. The sentinel 0 makes the
+// stream tier omit max_rss_bytes from BENCH.json and skip the RSS gate
+// outright (checkStreamTier), rather than recording a fake 0-byte peak that
+// later snapshots would compare against as if it were a measurement.
 func peakRSSBytes() int64 { return 0 }

@@ -6,8 +6,9 @@
 //     *.md files must point at an existing file (anchors and external
 //     URLs are not checked).
 //  2. Doc-comment coverage: the documented packages (internal/graph,
-//     internal/mpc, internal/solver, internal/serve) must have a package
-//     comment and a doc comment on every exported top-level identifier,
+//     internal/mpc, internal/reduce, internal/solver, internal/serve) must
+//     have a package comment and a doc comment on every exported top-level
+//     identifier,
 //     so their `go doc` output stays useful.
 //
 // It prints one line per finding and exits nonzero if there are any.
@@ -32,6 +33,7 @@ import (
 var docPackages = []string{
 	"internal/graph",
 	"internal/mpc",
+	"internal/reduce",
 	"internal/solver",
 	"internal/serve",
 }

@@ -39,6 +39,7 @@ func main() {
 		d         = flag.Float64("d", 32, "target average degree (generated instances)")
 		weights   = flag.String("weights", "uniform", "weight model: "+strings.Join(cli.WeightModels(), " | "))
 		paper     = flag.Bool("paper-constants", false, "use the paper's literal asymptotic constants for the MPC algorithm")
+		reduce    = flag.Bool("reduce", true, "kernelize the instance with the weighted reduction rules before solving; -reduce=false solves the raw graph")
 		compare   = flag.Bool("compare", false, "also run the baselines and print a comparison")
 		trace     = flag.Bool("trace", false, "stream per-phase and per-round solve events to stderr")
 		timeout   = flag.Duration("timeout", 0, "abort the solve after this long (0 = no deadline)")
@@ -59,12 +60,15 @@ func main() {
 		defer cancel()
 	}
 
-	// runOne solves with one algorithm and prints the result line. The
+	// runOne solves with one algorithm and prints the result line (plus, for
+	// the primary run, the kernelization line — the kernel is a function of
+	// the graph alone, so printing it per comparison algorithm would only
+	// repeat it). The
 	// returned error is already user-facing: a deadline surfaces as the clean
 	// "deadline exceeded after N rounds" form (rounds counted live from the
 	// observer stream, since the solve result is lost on abort), never as the
 	// raw wrapped context.DeadlineExceeded.
-	runOne := func(a mwvc.Algorithm, traced bool) error {
+	runOne := func(a mwvc.Algorithm, extra []mwvc.Option, traced, primary bool) (*mwvc.Solution, error) {
 		rounds := 0
 		counter := mwvc.ObserverFunc(func(e mwvc.Event) {
 			if e.Kind == mwvc.KindRound {
@@ -84,15 +88,26 @@ func main() {
 		if *paper {
 			opts = append(opts, mwvc.WithPaperConstants())
 		}
+		if !*reduce {
+			opts = append(opts, mwvc.WithoutReduction())
+		}
+		opts = append(opts, extra...)
 		start := time.Now()
 		sol, err := mwvc.Solve(ctx, g, opts...)
 		if err != nil {
 			if msg, ok := cli.DeadlineMessage(err, rounds); ok {
-				return fmt.Errorf("%s (-timeout %v)", msg, *timeout)
+				return nil, fmt.Errorf("%s (-timeout %v)", msg, *timeout)
 			}
-			return err
+			return nil, err
 		}
 		elapsed := time.Since(start)
+		if primary && sol.Reduction != nil {
+			r := sol.Reduction
+			fmt.Printf("kernel: n %d→%d m %d→%d (isolated %d, pendant %d, domination %d, neighborhood %d) forced_weight=%.2f  [%v]\n",
+				r.OriginalVertices, r.KernelVertices, r.OriginalEdges, r.KernelEdges,
+				r.Isolated, r.Pendant, r.Domination, r.NeighborhoodWeight,
+				r.ForcedWeight, time.Duration(r.ReduceNS).Round(time.Millisecond))
+		}
 		line := fmt.Sprintf("%-18s weight=%.2f", a, sol.Weight)
 		// CertifiedRatio is +Inf for certificate-free algorithms (greedy);
 		// print n/a rather than the convention value.
@@ -111,27 +126,39 @@ func main() {
 			line += "  (optimal)"
 		}
 		fmt.Printf("%s  [%v]\n", line, elapsed.Round(time.Millisecond))
-		return nil
+		return sol, nil
 	}
 
 	// The primary run's error (a blown -timeout, an unknown algorithm) is the
 	// command's outcome: report it cleanly and exit nonzero. Comparison runs
 	// are best-effort — their errors print inline and the sweep continues.
-	if err := runOne(mwvc.Algorithm(*algo), *trace); err != nil {
+	primary, err := runOne(mwvc.Algorithm(*algo), nil, *trace, true)
+	if err != nil {
 		fatal(fmt.Errorf("%s: %w", *algo, err))
 	}
 	if *compare {
+		// The kernel is a function of the graph alone: when the primary run
+		// showed zero shrink, re-kernelizing per comparison algorithm would
+		// only repeat the (bit-identical) no-op — skip the stage instead.
+		// When it did shrink, each comparison pays the reduce once and gets
+		// the smaller kernel back, normally a net win.
+		var extra []mwvc.Option
+		irreducible := primary.Reduction != nil &&
+			primary.Reduction.KernelVertices == primary.Reduction.OriginalVertices
+		if irreducible {
+			extra = append(extra, mwvc.WithoutReduction())
+		}
 		for _, a := range mwvc.Algorithms() {
 			if string(a) == *algo {
 				continue
 			}
-			if a == mwvc.AlgoExact && g.NumVertices() > 64 {
-				continue
+			if a == mwvc.AlgoExact && g.NumVertices() > 64 && (!*reduce || irreducible) {
+				continue // the raw graph is out of exact's domain for sure
 			}
 			if a == mwvc.AlgoCongestedClique && g.NumVertices() > 5000 {
 				continue // one machine per vertex; keep comparisons snappy
 			}
-			if err := runOne(a, false); err != nil {
+			if _, err := runOne(a, extra, false, false); err != nil {
 				fmt.Printf("%-18s error: %v\n", a, err)
 			}
 		}
@@ -154,6 +181,10 @@ func traceEvent(e mwvc.Event) {
 	case mwvc.KindFinalPhase:
 		fmt.Fprintf(os.Stderr, "[trace] final phase: iterations=%d rounds=%d dual=%.3f\n",
 			e.Iterations, e.Round, e.DualBound)
+	case mwvc.KindReduceStart:
+		fmt.Fprintf(os.Stderr, "[trace] reduce start: edges=%d\n", e.ActiveEdges)
+	case mwvc.KindReduceEnd:
+		fmt.Fprintf(os.Stderr, "[trace] reduce done: kernel_edges=%d\n", e.ActiveEdges)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"math/bits"
 
 	"repro/internal/graph"
+	"repro/internal/reduce"
 	"repro/internal/solver"
 )
 
@@ -23,12 +24,12 @@ const MaxVertices = 64
 // thousand branch-and-bound nodes, so a cancellation or deadline aborts the
 // search promptly with ctx.Err().
 func Solve(ctx context.Context, g *graph.Graph) ([]bool, float64, error) {
-	n := g.NumVertices()
-	if n > MaxVertices {
-		return nil, 0, fmt.Errorf("exact: %d vertices exceed the %d-vertex solver limit: %w", n, MaxVertices, solver.ErrUnsupported)
-	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	n := g.NumVertices()
+	if n > MaxVertices {
+		return nil, 0, tooLarge(ctx, g)
 	}
 	s := &bb{
 		n:       n,
@@ -58,6 +59,38 @@ func Solve(ctx context.Context, g *graph.Graph) ([]bool, float64, error) {
 		}
 	}
 	return cover, s.best, nil
+}
+
+// maxProbeEdges caps the instance size tooLarge is willing to kernelize
+// for a diagnostic: beyond it the probe could burn seconds of CPU (the
+// domination sweep is the costly part) just to format an error string, so
+// larger instances get the plain over-limit message instead.
+const maxProbeEdges = 2_000_000
+
+// tooLarge builds the over-limit error. For moderately sized instances it
+// runs the kernelization once so the message can say whether the instance
+// is actually out of reach: a graph whose kernel fits the solver is
+// solvable — the caller just has to leave reduction enabled. When Solve was
+// handed an already-reduced kernel (the pipeline's case), reducing again is
+// a fixpoint no-op and the message correctly reports the kernel as still
+// too large. An error-path-only cost, bounded by maxProbeEdges and the
+// context.
+func tooLarge(ctx context.Context, g *graph.Graph) error {
+	n := g.NumVertices()
+	if g.NumEdges() > maxProbeEdges {
+		return fmt.Errorf("exact: %d vertices exceed the %d-vertex solver limit: %w", n, MaxVertices, solver.ErrUnsupported)
+	}
+	red, err := reduce.Run(ctx, g)
+	if err != nil {
+		return fmt.Errorf("exact: %d vertices exceed the %d-vertex solver limit: %w", n, MaxVertices, solver.ErrUnsupported)
+	}
+	k := red.Stats.KernelVertices
+	if k < n && k <= MaxVertices {
+		return fmt.Errorf("exact: %d vertices exceed the %d-vertex solver limit, but the instance reduces to a %d-vertex kernel — enable reduction (mwvc.WithReduction, the default; CLI -reduce) to solve it exactly: %w",
+			n, MaxVertices, k, solver.ErrUnsupported)
+	}
+	return fmt.Errorf("exact: %d vertices exceed the %d-vertex solver limit and the kernel is still too large (%d vertices after reduction): %w",
+		n, MaxVertices, k, solver.ErrUnsupported)
 }
 
 type bb struct {

@@ -1,0 +1,352 @@
+// Package reduce implements weighted kernelization for minimum-weight
+// vertex cover: reduction rules that shrink an instance before any solver
+// runs, plus a replayable trace that lifts a kernel cover back to a cover
+// of the original graph with exact weight accounting.
+//
+// Four rules run to a fixpoint over a worklist, all operating directly on
+// the immutable CSR graph with flat per-vertex state (alive mask, residual
+// degrees) — no mutable graph copy is ever built:
+//
+//   - isolated: a vertex with no uncovered incident edge is never needed.
+//   - pendant (weighted degree-1): a degree-1 vertex u with neighbor v and
+//     w(u) ≥ w(v) lets v join the cover and u leave the instance.
+//   - domination (weighted): for an edge (u, v) with N[v] ⊆ N[u] and
+//     w(u) ≤ w(v), some optimal cover contains u.
+//   - neighborhood weight: if w(v) ≥ Σ w(N(v)), taking all of N(v) is never
+//     worse than taking v, so N(v) joins the cover and v leaves.
+//
+// Every rule preserves the optimum exactly: OPT(G) = ForcedWeight +
+// OPT(kernel), so the forced weight is a sound additive term for both the
+// lifted cover weight (primal) and any lower bound certified on the kernel
+// (dual) — certified ratios survive lifting. DESIGN.md §"Kernelization"
+// carries the per-rule soundness arguments.
+package reduce
+
+import (
+	"context"
+
+	"repro/internal/graph"
+)
+
+// Stats reports what one reduction pass did; it travels through
+// solver.Outcome and mwvc.Solution so every layer can account for the
+// kernelization stage honestly.
+type Stats struct {
+	// OriginalVertices and OriginalEdges are the instance size before
+	// reduction; KernelVertices and KernelEdges after.
+	OriginalVertices int `json:"original_vertices"`
+	OriginalEdges    int `json:"original_edges"`
+	KernelVertices   int `json:"kernel_vertices"`
+	KernelEdges      int `json:"kernel_edges"`
+
+	// Per-rule application counts (cascaded applications included).
+	Isolated           int `json:"isolated,omitempty"`
+	Pendant            int `json:"pendant,omitempty"`
+	Domination         int `json:"domination,omitempty"`
+	NeighborhoodWeight int `json:"neighborhood_weight,omitempty"`
+
+	// ForcedVertices and ForcedWeight describe the vertices the rules
+	// committed to the cover; ForcedWeight adds exactly to both the lifted
+	// cover weight and the kernel's certified lower bound.
+	ForcedVertices int     `json:"forced_vertices,omitempty"`
+	ForcedWeight   float64 `json:"forced_weight,omitempty"`
+
+	// ReduceNS is the wall-clock cost of the reduction stage, filled by the
+	// pipeline that invoked it.
+	ReduceNS int64 `json:"reduce_ns,omitempty"`
+}
+
+// Trace records how a graph was reduced, replayably: Lift reconstructs a
+// cover of the original graph from any cover of the kernel, and LiftDuals
+// re-indexes a kernel dual vector onto the original edge ids. A nil Trace
+// (returned when nothing reduced) means the kernel is the original graph.
+type Trace struct {
+	orig    *graph.Graph
+	kernel  *graph.Graph
+	forced  []graph.Vertex // original ids committed to the cover
+	forcedW float64
+	toOrig  []graph.Vertex // kernel vertex id → original vertex id
+}
+
+// ForcedWeight returns the total weight of the vertices the reduction
+// committed to the cover.
+func (t *Trace) ForcedWeight() float64 { return t.forcedW }
+
+// Lift maps a cover of the kernel back to a cover of the original graph:
+// the forced vertices plus the kernel cover translated through the vertex
+// mapping. The returned forced weight is the exact additive difference
+// between the kernel cover's weight and the lifted cover's weight, and is
+// likewise a sound additive term for the kernel's dual lower bound.
+func (t *Trace) Lift(kernelCover []bool) (cover []bool, forcedWeight float64) {
+	if len(kernelCover) != len(t.toOrig) {
+		panic("reduce: Lift cover length does not match kernel")
+	}
+	cover = make([]bool, t.orig.NumVertices())
+	for _, v := range t.forced {
+		cover[v] = true
+	}
+	for i, in := range kernelCover {
+		if in {
+			cover[t.toOrig[i]] = true
+		}
+	}
+	return cover, t.forcedW
+}
+
+// LiftDuals re-indexes a feasible fractional matching on the kernel onto
+// the original graph's edge ids (zero on every non-kernel edge). The result
+// is feasible on the original graph: kernel vertices keep their incident
+// sums, and forced or dropped vertices carry zero.
+func (t *Trace) LiftDuals(kernelDuals []float64) []float64 {
+	if len(kernelDuals) != t.kernel.NumEdges() {
+		panic("reduce: LiftDuals vector length does not match kernel")
+	}
+	out := make([]float64, t.orig.NumEdges())
+	ep := t.kernel.EdgeEndpoints()
+	for e := 0; e < t.kernel.NumEdges(); e++ {
+		u, v := t.toOrig[ep[2*e]], t.toOrig[ep[2*e+1]]
+		out[t.orig.EdgeBetween(u, v)] = kernelDuals[e]
+	}
+	return out
+}
+
+// Result is the outcome of Run: the kernel graph, the trace that lifts
+// kernel covers back (nil when nothing reduced and Kernel aliases the
+// input), and the accounting stats.
+type Result struct {
+	Kernel *graph.Graph
+	Trace  *Trace
+	Stats  Stats
+}
+
+// Run applies all reduction rules to a fixpoint and assembles the kernel.
+// It is deterministic (worklist and sweeps run in vertex order) and only
+// reads g. The context is polled throughout, so cancellation aborts a
+// long reduction promptly.
+func Run(ctx context.Context, g *graph.Graph) (*Result, error) {
+	n := g.NumVertices()
+	st := Stats{
+		OriginalVertices: n,
+		OriginalEdges:    g.NumEdges(),
+	}
+	r := &reducer{g: g, ctx: ctx, st: &st}
+	if err := r.fixpoint(); err != nil {
+		return nil, err
+	}
+	st.ForcedWeight = r.forcedW
+
+	removed := 0
+	for v := 0; v < n; v++ {
+		if !r.alive[v] {
+			removed++
+		}
+	}
+	if removed == 0 {
+		st.KernelVertices = n
+		st.KernelEdges = g.NumEdges()
+		return &Result{Kernel: g, Stats: st}, nil
+	}
+
+	aliveList := make([]graph.Vertex, 0, n-removed)
+	var forced []graph.Vertex
+	for v := 0; v < n; v++ {
+		switch {
+		case r.alive[v]:
+			aliveList = append(aliveList, graph.Vertex(v))
+		case r.inCover[v]:
+			forced = append(forced, graph.Vertex(v))
+		}
+	}
+	kernel, toOrig, err := g.Induced(aliveList)
+	if err != nil {
+		return nil, err
+	}
+	st.KernelVertices = kernel.NumVertices()
+	st.KernelEdges = kernel.NumEdges()
+	tr := &Trace{orig: g, kernel: kernel, forced: forced, forcedW: r.forcedW, toOrig: toOrig}
+	return &Result{Kernel: kernel, Trace: tr, Stats: st}, nil
+}
+
+// reducer is the mutable fixpoint state over one immutable graph.
+type reducer struct {
+	g   *graph.Graph
+	ctx context.Context
+	st  *Stats
+
+	alive   []bool // vertex still in the residual instance
+	inCover []bool // vertex forced into the cover
+	deg     []int32
+	forcedW float64
+
+	queue   []graph.Vertex
+	inQueue []bool
+	polls   uint
+}
+
+// poll checks the context every 4096th call so the rule loops stay cheap.
+func (r *reducer) poll() error {
+	r.polls++
+	if r.polls&0xFFF == 0 {
+		return r.ctx.Err()
+	}
+	return nil
+}
+
+func (r *reducer) push(v graph.Vertex) {
+	if r.alive[v] && !r.inQueue[v] {
+		r.inQueue[v] = true
+		r.queue = append(r.queue, v)
+	}
+}
+
+// force commits u to the cover and removes it from the residual instance;
+// its uncovered incident edges disappear, so every alive neighbor loses a
+// degree and re-enters the worklist.
+func (r *reducer) force(u graph.Vertex) {
+	r.alive[u] = false
+	r.inCover[u] = true
+	r.st.ForcedVertices++
+	r.forcedW += r.g.Weight(u)
+	for _, x := range r.g.Neighbors(u) {
+		if r.alive[x] {
+			r.deg[x]--
+			r.push(x)
+		}
+	}
+}
+
+// fixpoint alternates the cheap worklist rules (isolated, pendant,
+// neighborhood weight) with domination sweeps until neither changes
+// anything.
+func (r *reducer) fixpoint() error {
+	n := r.g.NumVertices()
+	r.alive = make([]bool, n)
+	r.inCover = make([]bool, n)
+	r.inQueue = make([]bool, n)
+	r.deg = make([]int32, n)
+	r.queue = make([]graph.Vertex, 0, n)
+	for v := 0; v < n; v++ {
+		r.alive[v] = true
+		r.inQueue[v] = true
+		r.deg[v] = int32(r.g.Degree(graph.Vertex(v)))
+		r.queue = append(r.queue, graph.Vertex(v))
+	}
+	for {
+		if err := r.drain(); err != nil {
+			return err
+		}
+		changed, err := r.dominationSweep()
+		if err != nil {
+			return err
+		}
+		if !changed {
+			return nil
+		}
+	}
+}
+
+// drain runs the worklist rules to exhaustion.
+func (r *reducer) drain() error {
+	for len(r.queue) > 0 {
+		v := r.queue[0]
+		r.queue = r.queue[1:]
+		r.inQueue[v] = false
+		if !r.alive[v] {
+			continue
+		}
+		if err := r.poll(); err != nil {
+			return err
+		}
+		switch {
+		case r.deg[v] == 0:
+			// Isolated: every incident edge already has a forced endpoint
+			// (or never existed), so v is never needed.
+			r.alive[v] = false
+			r.st.Isolated++
+		case r.deg[v] == 1:
+			u := r.soleAliveNeighbor(v)
+			if r.g.Weight(v) >= r.g.Weight(u) {
+				// Pendant: covering the single edge (v, u) from the u side
+				// costs no more and covers at least as much.
+				r.force(u)
+				r.alive[v] = false
+				r.st.Pendant++
+			}
+		default:
+			s := 0.0
+			for _, u := range r.g.Neighbors(v) {
+				if r.alive[u] {
+					s += r.g.Weight(u)
+				}
+			}
+			if r.g.Weight(v) >= s {
+				// Neighborhood weight: swapping v for all of N(v) in any
+				// cover never costs more, so N(v) is forced and v dropped.
+				for _, u := range r.g.Neighbors(v) {
+					if r.alive[u] {
+						r.force(u)
+					}
+				}
+				r.alive[v] = false
+				r.st.NeighborhoodWeight++
+			}
+		}
+	}
+	return nil
+}
+
+// soleAliveNeighbor returns the single alive neighbor of a residual
+// degree-1 vertex.
+func (r *reducer) soleAliveNeighbor(v graph.Vertex) graph.Vertex {
+	for _, u := range r.g.Neighbors(v) {
+		if r.alive[u] {
+			return u
+		}
+	}
+	panic("reduce: residual degree-1 vertex has no alive neighbor")
+}
+
+// dominationSweep scans every alive vertex v for an alive neighbor u with
+// w(u) ≤ w(v) whose closed residual neighborhood contains v's — then some
+// optimal cover contains u, and u is forced. Returns whether anything
+// changed (follow-up cheap rules are queued by force itself).
+func (r *reducer) dominationSweep() (bool, error) {
+	changed := false
+	for v := 0; v < r.g.NumVertices(); v++ {
+		if !r.alive[v] {
+			continue
+		}
+		if err := r.poll(); err != nil {
+			return false, err
+		}
+		wv := r.g.Weight(graph.Vertex(v))
+		for _, u := range r.g.Neighbors(graph.Vertex(v)) {
+			if !r.alive[u] || r.g.Weight(u) > wv {
+				continue
+			}
+			if r.dominates(u, graph.Vertex(v)) {
+				r.force(u)
+				r.st.Domination++
+				changed = true
+				break // v's residual degree changed; the worklist revisits it
+			}
+		}
+	}
+	return changed, nil
+}
+
+// dominates reports whether every alive neighbor of v other than u is also
+// adjacent to u, i.e. N_res[v] ⊆ N_res[u] for the adjacent pair (u, v).
+// Adjacency in the original graph suffices: an edge between two alive
+// vertices is by definition still uncovered.
+func (r *reducer) dominates(u, v graph.Vertex) bool {
+	for _, x := range r.g.Neighbors(v) {
+		if x == u || !r.alive[x] {
+			continue
+		}
+		if !r.g.HasEdge(u, x) {
+			return false
+		}
+	}
+	return true
+}

@@ -90,6 +90,11 @@ type SolveParams struct {
 	Epsilon        float64
 	Seed           uint64
 	PaperConstants bool
+	// NoReduce skips the kernelization stage (mwvc.WithoutReduction); the
+	// zero value keeps the facade default of reduction on. The flag changes
+	// the solver's input — and thus potentially its output — so it is part
+	// of the solution-cache key.
+	NoReduce bool
 	// Timeout is the per-request deadline; 0 means the engine default, and
 	// values above Config.MaxTimeout are clamped to it. The clock starts at
 	// admission, so time spent waiting in the queue counts against it — a
@@ -100,11 +105,12 @@ type SolveParams struct {
 }
 
 type cacheKey struct {
-	hash  string
-	algo  string
-	eps   float64
-	seed  uint64
-	paper bool
+	hash     string
+	algo     string
+	eps      float64
+	seed     uint64
+	paper    bool
+	noReduce bool
 }
 
 // Status is a request's lifecycle state.
@@ -557,7 +563,7 @@ func (e *Engine) worker() {
 }
 
 func keyOf(p SolveParams) cacheKey {
-	return cacheKey{hash: p.GraphHash, algo: p.Algorithm, eps: p.Epsilon, seed: p.Seed, paper: p.PaperConstants}
+	return cacheKey{hash: p.GraphHash, algo: p.Algorithm, eps: p.Epsilon, seed: p.Seed, paper: p.PaperConstants, noReduce: p.NoReduce}
 }
 
 // run executes one dequeued request end to end: deadline context, observed
@@ -622,6 +628,9 @@ func (e *Engine) run(req *Request) {
 	if p.PaperConstants {
 		opts = append(opts, mwvc.WithPaperConstants())
 	}
+	if p.NoReduce {
+		opts = append(opts, mwvc.WithoutReduction())
+	}
 	start := time.Now()
 	sol, err := mwvc.Solve(ctx, sg.Graph, opts...)
 	elapsed := time.Since(start)
@@ -631,6 +640,13 @@ func (e *Engine) run(req *Request) {
 	e.met.solveCount.Add(1)
 	e.met.solveNanos.Add(int64(elapsed))
 	e.met.algoCount(p.Algorithm)
+	if err == nil && sol.Reduction != nil {
+		r := sol.Reduction
+		e.met.reduceCount.Add(1)
+		e.met.reduceNanos.Add(r.ReduceNS)
+		e.met.reduceVerticesRemoved.Add(int64(r.OriginalVertices - r.KernelVertices))
+		e.met.reduceEdgesRemoved.Add(int64(r.OriginalEdges - r.KernelEdges))
+	}
 
 	if err != nil {
 		msg := err.Error()
@@ -672,6 +688,16 @@ type engineMetrics struct {
 	eventsTotal   atomic.Int64
 	solveCount    atomic.Int64
 	solveNanos    atomic.Int64
+
+	// Kernelization accounting across *successful* solver executions that
+	// ran the reduction stage. Failed solves are excluded by necessity, not
+	// by choice: the stats travel on the Solution, which an errored
+	// mwvc.Solve does not return. Cache hits re-run nothing and are
+	// likewise excluded.
+	reduceCount           atomic.Int64
+	reduceNanos           atomic.Int64
+	reduceVerticesRemoved atomic.Int64
+	reduceEdgesRemoved    atomic.Int64
 
 	algoMu  sync.Mutex
 	perAlgo map[string]int64

@@ -65,7 +65,11 @@ type SolveRequest struct {
 	Epsilon        float64 `json:"epsilon,omitempty"`
 	Seed           uint64  `json:"seed,omitempty"`
 	PaperConstants bool    `json:"paper_constants,omitempty"`
-	TimeoutMS      int64   `json:"timeout_ms,omitempty"`
+	// Reduce toggles the kernelization stage; omitted or true runs it (the
+	// facade default), false solves the raw graph. It is part of the
+	// solution-cache key.
+	Reduce    *bool `json:"reduce,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// IncludeCover adds the cover bitmap to the response (omitted by default:
 	// it is n booleans, usually the bulk of the payload).
 	IncludeCover bool `json:"include_cover,omitempty"`
@@ -76,13 +80,16 @@ type SolveRequest struct {
 
 // SolveResponse answers POST /v1/solve and GET /v1/solve/{id}.
 type SolveResponse struct {
-	ID        string         `json:"id"`
-	Status    Status         `json:"status"`
-	Cached    bool           `json:"cached,omitempty"`
-	Graph     string         `json:"graph"`
-	Algorithm string         `json:"algorithm"`
-	Epsilon   float64        `json:"epsilon"`
-	Seed      uint64         `json:"seed"`
+	ID        string  `json:"id"`
+	Status    Status  `json:"status"`
+	Cached    bool    `json:"cached,omitempty"`
+	Graph     string  `json:"graph"`
+	Algorithm string  `json:"algorithm"`
+	Epsilon   float64 `json:"epsilon"`
+	Seed      uint64  `json:"seed"`
+	// Reduce echoes whether the kernelization stage was enabled for this
+	// request; kernel statistics appear under solution.reduction.
+	Reduce    bool           `json:"reduce"`
 	Solution  *mwvc.Solution `json:"solution,omitempty"`
 	CoverSize int            `json:"cover_size,omitempty"`
 	Error     string         `json:"error,omitempty"`
@@ -132,6 +139,7 @@ func (s *server) solve(w http.ResponseWriter, r *http.Request) {
 		Epsilon:        body.Epsilon,
 		Seed:           body.Seed,
 		PaperConstants: body.PaperConstants,
+		NoReduce:       body.Reduce != nil && !*body.Reduce,
 		Timeout:        time.Duration(body.TimeoutMS) * time.Millisecond,
 	})
 	if err != nil {
@@ -210,6 +218,7 @@ func (s *server) response(req *Request, snap Snapshot, includeCover bool) SolveR
 		Algorithm:    req.Params.Algorithm,
 		Epsilon:      req.Params.Epsilon,
 		Seed:         req.Params.Seed,
+		Reduce:       !req.Params.NoReduce,
 		Error:        snap.ErrMsg,
 		Rounds:       snap.Rounds,
 		TraceDropped: snap.TraceDropped,

@@ -159,11 +159,13 @@ func TestHTTPErrors(t *testing.T) {
 		t.Errorf("unknown algorithm: status %d, want 400", resp.StatusCode)
 	}
 	// Parameters outside the algorithm's domain are the client's mistake:
-	// exact beyond its 64-vertex limit must answer 422, not 500.
+	// exact beyond its 64-vertex limit (reduction disabled, so the raw graph
+	// reaches the solver) must answer 422, not 500.
+	noReduce := false
 	big := uploadGraph(t, srv, mwvc.RandomGraph(2, 100, 4))
-	resp, sr := postSolve(t, srv, SolveRequest{Graph: big.Graph, Algorithm: "exact"})
+	resp, sr := postSolve(t, srv, SolveRequest{Graph: big.Graph, Algorithm: "exact", Reduce: &noReduce})
 	if resp.StatusCode != http.StatusUnprocessableEntity {
-		t.Errorf("exact on 100 vertices: status %d, want 422", resp.StatusCode)
+		t.Errorf("exact on 100 raw vertices: status %d, want 422", resp.StatusCode)
 	}
 	if !strings.Contains(sr.Error, "vertices exceed") {
 		t.Errorf("422 error %q lacks the solver's explanation", sr.Error)

@@ -34,6 +34,15 @@ type Metrics struct {
 	SolveCount   int64
 	SolveSeconds float64
 
+	// Kernelization accounting across successful solver executions that ran
+	// the reduction stage (requests submitted with NoReduce, failed solves
+	// — whose stats are lost with the errored solve — and cache hits
+	// excluded; unlike SolveSeconds, which deliberately includes failures).
+	ReduceCount           int64
+	ReduceSeconds         float64
+	ReduceVerticesRemoved int64
+	ReduceEdgesRemoved    int64
+
 	// PerAlgorithm counts solver executions by algorithm (successful or
 	// failed; cache hits excluded).
 	PerAlgorithm map[string]int64
@@ -54,6 +63,11 @@ func (e *Engine) Metrics() Metrics {
 		EventsTotal:   e.met.eventsTotal.Load(),
 		SolveCount:    e.met.solveCount.Load(),
 		SolveSeconds:  time.Duration(e.met.solveNanos.Load()).Seconds(),
+
+		ReduceCount:           e.met.reduceCount.Load(),
+		ReduceSeconds:         time.Duration(e.met.reduceNanos.Load()).Seconds(),
+		ReduceVerticesRemoved: e.met.reduceVerticesRemoved.Load(),
+		ReduceEdgesRemoved:    e.met.reduceEdgesRemoved.Load(),
 	}
 	e.met.algoMu.Lock()
 	if len(e.met.perAlgo) > 0 {
@@ -86,6 +100,10 @@ func WriteMetrics(w io.Writer, m Metrics) error {
 		{"mwvc_observer_events_total", "Observer events fanned into the metrics stream.", "counter", float64(m.EventsTotal)},
 		{"mwvc_solve_seconds_sum", "Total wall-clock seconds spent solving (failed solves included).", "counter", m.SolveSeconds},
 		{"mwvc_solve_seconds_count", "Solver executions timed, successful or failed (cache hits excluded).", "counter", float64(m.SolveCount)},
+		{"mwvc_reduce_total", "Successful solver executions that ran the kernelization stage.", "counter", float64(m.ReduceCount)},
+		{"mwvc_reduce_seconds_sum", "Total wall-clock seconds spent kernelizing (successful solves).", "counter", m.ReduceSeconds},
+		{"mwvc_reduce_vertices_removed_total", "Vertices removed by kernelization across successful solves.", "counter", float64(m.ReduceVerticesRemoved)},
+		{"mwvc_reduce_edges_removed_total", "Edges removed by kernelization across successful solves.", "counter", float64(m.ReduceEdgesRemoved)},
 	}
 	for _, r := range rows {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", r.name, r.help, r.name, r.kind, r.name, r.value); err != nil {

@@ -425,3 +425,64 @@ func TestRequestRetention(t *testing.T) {
 		t.Fatal("most recent request evicted before older ones")
 	}
 }
+
+func TestReductionCacheKeyAndMetrics(t *testing.T) {
+	// The same (graph, algorithm, ε, seed) tuple with and without reduction
+	// is two different solves: the kernelized run must not be answered from
+	// the raw run's cache entry, and vice versa — only true repeats hit.
+	e := newTestEngine(t, Config{Workers: 1, QueueDepth: 8})
+	hash := addGraph(t, e, testGraph(t, 3, 60, 3)) // sparse: reduction bites
+	run := func(noReduce bool) *mwvc.Solution {
+		t.Helper()
+		req, err := e.Submit(SolveParams{GraphHash: hash, Algorithm: "mpc", Seed: 5, NoReduce: noReduce})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := req.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		sol, err := req.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if req.IsCached() {
+			t.Fatalf("noReduce=%v answered from cache on first submission", noReduce)
+		}
+		return sol
+	}
+	reduced := run(false)
+	raw := run(true)
+	if reduced.Reduction == nil || raw.Reduction != nil {
+		t.Fatalf("reduction stats: reduced=%v raw=%v", reduced.Reduction, raw.Reduction)
+	}
+	// Exact repeats (either flavor) are cache hits.
+	for _, noReduce := range []bool{false, true} {
+		req, err := e.Submit(SolveParams{GraphHash: hash, Algorithm: "mpc", Seed: 5, NoReduce: noReduce})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := req.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if !req.IsCached() {
+			t.Fatalf("repeat with noReduce=%v missed the cache", noReduce)
+		}
+	}
+	m := e.Metrics()
+	if m.CacheHits != 2 || m.SolveCount != 2 {
+		t.Fatalf("cache hits %d / solves %d, want 2/2", m.CacheHits, m.SolveCount)
+	}
+	if m.ReduceCount != 1 {
+		t.Fatalf("reduce count %d, want exactly the one kernelized solve", m.ReduceCount)
+	}
+	if m.ReduceVerticesRemoved <= 0 || m.ReduceSeconds < 0 {
+		t.Fatalf("reduce metrics not threaded: %+v", m)
+	}
+	var b strings.Builder
+	if err := WriteMetrics(&b, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "mwvc_reduce_total 1") {
+		t.Fatalf("Prometheus exposition lacks mwvc_reduce_total:\n%s", b.String())
+	}
+}

@@ -10,9 +10,17 @@
 // parallelism, constants preset); Outcome is what a solver returns before
 // the facade verifies it.
 //
+// Pipeline stages every facade solve: Reduce (weighted kernelization,
+// internal/reduce) → Solve (the registered algorithm, on the kernel) →
+// Lift (cover and duals back to original ids) → Verify (always against the
+// original graph). With reduction disabled the pipeline is the direct
+// solve path bit for bit; with it enabled, kernel stats thread through
+// Outcome into the facade's Solution.
+//
 // The package sits below every algorithm package (it imports only
-// internal/graph), which is what lets the algorithm packages both
-// implement the interface and emit Observer events without import cycles.
+// internal/graph, internal/reduce and internal/verify), which is what lets
+// the algorithm packages both implement the interface and emit Observer
+// events without import cycles.
 //
 // # Observer stream
 //

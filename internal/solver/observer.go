@@ -20,6 +20,13 @@ const (
 	// KindFinalPhase fires once, after the final (single-machine) phase of a
 	// round-compression algorithm finishes.
 	KindFinalPhase
+	// KindReduceStart fires when the pipeline's kernelization stage begins,
+	// carrying the original edge count in ActiveEdges.
+	KindReduceStart
+	// KindReduceEnd fires when the kernelization stage completes, carrying
+	// the kernel edge count in ActiveEdges. Subsequent solve events refer to
+	// the kernel instance.
+	KindReduceEnd
 )
 
 // String returns the kind's wire name (used by CLI traces and the solve
@@ -34,6 +41,10 @@ func (k EventKind) String() string {
 		return "phase-end"
 	case KindFinalPhase:
 		return "final-phase"
+	case KindReduceStart:
+		return "reduce-start"
+	case KindReduceEnd:
+		return "reduce-end"
 	default:
 		return "unknown"
 	}

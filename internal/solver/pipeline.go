@@ -1,0 +1,141 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/reduce"
+	"repro/internal/verify"
+)
+
+// Result is the verified outcome of a Pipeline run: the cover and
+// certificate always refer to the original graph the pipeline was given,
+// never to an internal kernel.
+type Result struct {
+	// Cover marks the chosen vertices of the original graph.
+	Cover []bool
+	// Weight is the total weight of the cover.
+	Weight float64
+	// Bound is a certified lower bound on OPT (weak LP duality on the
+	// solved instance plus the reduction's forced weight), or 0 when the
+	// algorithm provides no certificate.
+	Bound float64
+	// CertifiedRatio is Weight/Bound, following the facade's documented
+	// convention for certificate-free and empty instances.
+	CertifiedRatio float64
+	// Rounds and Phases echo the solver's round accounting (measured on the
+	// kernel when reduction ran — the honest cost of the solve that
+	// actually executed).
+	Rounds int
+	Phases int
+	// Exact reports that Weight is the true optimum.
+	Exact bool
+	// Reduction carries the kernelization stats, nil when the pipeline ran
+	// without reduction.
+	Reduction *reduce.Stats
+}
+
+// Pipeline stages one solve: Reduce (optional kernelization) → Solve on the
+// kernel through a registered solver → Lift the kernel cover and duals back
+// to the original graph → Verify cover and certificate on the original.
+// With Reduce false the pipeline is exactly the pre-kernelization solve
+// path, bit for bit.
+type Pipeline struct {
+	// Solver executes the (possibly kernelized) instance.
+	Solver Solver
+	// Reduce enables the kernelization stage.
+	Reduce bool
+	// Config is passed through to the solver. Its Observer additionally
+	// receives KindReduceStart/KindReduceEnd events around the
+	// kernelization stage.
+	Config Config
+}
+
+// Run executes the pipeline on g. The returned Result is fully verified
+// against g: an invalid cover or infeasible certificate — from any solver,
+// on any kernel — is an error, never a silently wrong answer.
+func (p Pipeline) Run(ctx context.Context, g *graph.Graph) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	work := g
+	var tr *reduce.Trace
+	var stats *reduce.Stats
+	if p.Reduce {
+		Emit(p.Config.Observer, Event{Kind: KindReduceStart, Phase: -1, ActiveEdges: int64(g.NumEdges())})
+		start := time.Now()
+		red, err := reduce.Run(ctx, g)
+		if err != nil {
+			return nil, err
+		}
+		red.Stats.ReduceNS = time.Since(start).Nanoseconds()
+		stats = &red.Stats
+		Emit(p.Config.Observer, Event{Kind: KindReduceEnd, Phase: -1, ActiveEdges: int64(red.Kernel.NumEdges())})
+		if red.Trace != nil {
+			work, tr = red.Kernel, red.Trace
+		}
+		// A nil trace means nothing reduced; solve the original directly.
+	}
+
+	var out *Outcome
+	if tr != nil && work.NumVertices() == 0 {
+		// Fully reduced: the rules alone determined an optimal cover
+		// (OPT(g) = forced weight + OPT(∅) = forced weight), so the solver
+		// is skipped and the lifted cover is exact regardless of algorithm.
+		out = &Outcome{Cover: []bool{}, Exact: true}
+	} else {
+		var err error
+		out, err = p.Solver.Solve(ctx, work, p.Config)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	cover, duals, forced := out.Cover, out.Duals, 0.0
+	if tr != nil {
+		cover, forced = tr.Lift(out.Cover)
+		if out.Duals != nil {
+			duals = tr.LiftDuals(out.Duals)
+		}
+	}
+	out.Reduction = stats
+	return verifyStage(g, cover, duals, forced, out)
+}
+
+// verifyStage checks the (lifted) cover against the original graph, checks
+// the (lifted) dual certificate when one is supplied, and fills the Result.
+// CertifiedRatio follows the facade's convention: certificate ⇒
+// Weight/Bound; exact ⇒ 1; empty cover ⇒ 1; otherwise +Inf.
+func verifyStage(g *graph.Graph, cover []bool, duals []float64, forced float64, out *Outcome) (*Result, error) {
+	if ok, e := verify.IsCover(g, cover); !ok {
+		u, v := g.Edge(e)
+		return nil, fmt.Errorf("solver: internal error: edge (%d,%d) uncovered", u, v)
+	}
+	res := &Result{
+		Cover:     cover,
+		Weight:    verify.CoverWeight(g, cover),
+		Rounds:    out.Rounds,
+		Phases:    out.Phases,
+		Exact:     out.Exact,
+		Reduction: out.Reduction,
+	}
+	if duals != nil {
+		cert, err := verify.NewLiftedCertificate(g, cover, duals, forced)
+		if err != nil {
+			return nil, fmt.Errorf("solver: internal error: invalid certificate: %w", err)
+		}
+		res.Bound = cert.Bound
+		res.CertifiedRatio = cert.Ratio()
+	} else if out.Exact {
+		res.Bound = res.Weight
+		res.CertifiedRatio = 1
+	} else if res.Weight == 0 {
+		res.CertifiedRatio = 1
+	} else {
+		res.CertifiedRatio = math.Inf(1)
+	}
+	return res, nil
+}

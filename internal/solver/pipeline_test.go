@@ -1,0 +1,176 @@
+package solver
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+// pendantStar builds a >trivial instance the rules fully collapse: one cheap
+// hub, many heavy leaves (unit hub weight, leaf weight 3).
+func pendantStar(t *testing.T, leaves int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(leaves + 1)
+	for l := 1; l <= leaves; l++ {
+		b.SetWeight(graph.Vertex(l), 3)
+		b.AddEdge(0, graph.Vertex(l))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// recordingSolver counts invocations and remembers the instance it saw.
+type recordingSolver struct {
+	calls int
+	sawN  int
+	out   *Outcome
+	err   error
+}
+
+func (r *recordingSolver) Solve(ctx context.Context, g *graph.Graph, cfg Config) (*Outcome, error) {
+	r.calls++
+	r.sawN = g.NumVertices()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.out != nil {
+		return r.out, nil
+	}
+	cover := make([]bool, g.NumVertices())
+	for i := range cover {
+		cover[i] = true
+	}
+	return &Outcome{Cover: cover}, nil
+}
+
+func TestPipelineEmitsReduceEvents(t *testing.T) {
+	g := pendantStar(t, 10)
+	var kinds []EventKind
+	var edges []int64
+	cfg := Config{Observer: ObserverFunc(func(e Event) {
+		kinds = append(kinds, e.Kind)
+		edges = append(edges, e.ActiveEdges)
+	})}
+	rec := &recordingSolver{}
+	res, err := Pipeline{Solver: rec, Reduce: true, Config: cfg}.Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) != 2 || kinds[0] != KindReduceStart || kinds[1] != KindReduceEnd {
+		t.Fatalf("event kinds %v, want [reduce-start reduce-end]", kinds)
+	}
+	if edges[0] != 10 || edges[1] != 0 {
+		t.Fatalf("event edge counts %v, want [10 0]", edges)
+	}
+	if rec.calls != 0 {
+		t.Fatalf("solver ran %d times on a fully reduced instance, want 0", rec.calls)
+	}
+	if !res.Exact || res.Weight != 1 || res.CertifiedRatio != 1 {
+		t.Fatalf("fully reduced star: exact=%v weight=%v ratio=%v, want true/1/1",
+			res.Exact, res.Weight, res.CertifiedRatio)
+	}
+	if res.Reduction == nil || res.Reduction.Pendant == 0 || res.Reduction.ReduceNS <= 0 {
+		t.Fatalf("reduction stats missing or incomplete: %+v", res.Reduction)
+	}
+}
+
+func TestPipelineSolvesKernelNotOriginal(t *testing.T) {
+	// A cheap hub with 20 heavy pendants (collapses) plus a disjoint
+	// irreducible path weighted 1-10-10-1 (cheap ends refuse the pendant
+	// rule, middle weights refuse neighborhood and domination): the solver
+	// must see exactly the 4-vertex path.
+	b := graph.NewBuilder(25)
+	b.SetWeight(0, 2)
+	for l := 1; l <= 20; l++ {
+		b.SetWeight(graph.Vertex(l), 100)
+		b.AddEdge(0, graph.Vertex(l))
+	}
+	pathW := []float64{1, 10, 10, 1}
+	for i, w := range pathW {
+		b.SetWeight(graph.Vertex(21+i), w)
+	}
+	b.AddEdge(21, 22).AddEdge(22, 23).AddEdge(23, 24)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingSolver{}
+	res, err := Pipeline{Solver: rec, Reduce: true}.Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.calls != 1 || rec.sawN != 4 {
+		t.Fatalf("solver saw n=%d (calls %d); want the 4-vertex kernel once", rec.sawN, rec.calls)
+	}
+	if ok, _ := verify.IsCover(g, res.Cover); !ok {
+		t.Fatal("lifted cover does not cover the original")
+	}
+	if len(res.Cover) != 25 {
+		t.Fatalf("cover length %d, want the original 25", len(res.Cover))
+	}
+}
+
+func TestPipelineWithoutReduceIsDirect(t *testing.T) {
+	g := pendantStar(t, 10)
+	var sawEvent bool
+	rec := &recordingSolver{}
+	res, err := Pipeline{Solver: rec, Reduce: false, Config: Config{
+		Observer: ObserverFunc(func(Event) { sawEvent = true }),
+	}}.Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.calls != 1 || rec.sawN != 11 {
+		t.Fatalf("solver saw n=%d (calls %d), want the raw 11", rec.sawN, rec.calls)
+	}
+	if sawEvent {
+		t.Fatal("reduce events emitted with reduction disabled")
+	}
+	if res.Reduction != nil {
+		t.Fatal("reduction stats attached with reduction disabled")
+	}
+	if !math.IsInf(res.CertifiedRatio, 1) {
+		t.Fatalf("certificate-free ratio %v, want +Inf", res.CertifiedRatio)
+	}
+}
+
+func TestPipelineRejectsInvalidLiftedCover(t *testing.T) {
+	// The verify stage runs on the original graph: a solver returning a
+	// non-cover must be caught. A 5-cycle with increasing weights resists
+	// every rule, so the kernel is the original and an all-false "cover"
+	// leaves every edge uncovered.
+	b := graph.NewBuilder(5)
+	for i := 0; i < 5; i++ {
+		b.SetWeight(graph.Vertex(i), float64(2+i))
+		b.AddEdge(graph.Vertex(i), graph.Vertex((i+1)%5))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := &recordingSolver{out: &Outcome{Cover: make([]bool, 5)}}
+	if _, err := (Pipeline{Solver: empty, Reduce: true}).Run(context.Background(), g); err == nil {
+		t.Fatal("non-cover passed verification")
+	}
+	if empty.sawN != 5 {
+		t.Fatalf("solver saw n=%d, want the irreducible 5-cycle", empty.sawN)
+	}
+}
+
+func TestPipelinePreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rec := &recordingSolver{}
+	if _, err := (Pipeline{Solver: rec, Reduce: true}).Run(ctx, pendantStar(t, 3)); err == nil {
+		t.Fatal("pre-cancelled context accepted")
+	}
+	if rec.calls != 0 {
+		t.Fatal("solver ran despite pre-cancelled context")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/reduce"
 )
 
 // ErrUnsupported marks a solve error caused by the request itself — an
@@ -52,6 +53,10 @@ type Outcome struct {
 	Phases int
 	// Exact reports that the cover weight is the true optimum.
 	Exact bool
+	// Reduction carries the kernelization stats when the outcome was
+	// produced by a Pipeline with reduction enabled; solvers themselves
+	// leave it nil — the pipeline fills it after the lift stage.
+	Reduction *reduce.Stats
 }
 
 // Solver is one registered algorithm.

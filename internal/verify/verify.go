@@ -116,6 +116,24 @@ func NewCertificate(g *graph.Graph, cover []bool, x []float64) (*Certificate, er
 	}, nil
 }
 
+// NewLiftedCertificate validates (cover, x) against g exactly like
+// NewCertificate and then adds forcedWeight — the weight of vertices a sound
+// kernelization committed to the cover — to the certified lower bound. The
+// addition is sound because each reduction rule preserves the optimum
+// exactly: OPT(g) = forcedWeight + OPT(kernel) ≥ forcedWeight + Σx, where x
+// is feasible on the kernel (and, re-indexed with zeros elsewhere, on g).
+// With forcedWeight 0 this is NewCertificate bit for bit.
+func NewLiftedCertificate(g *graph.Graph, cover []bool, x []float64, forcedWeight float64) (*Certificate, error) {
+	c, err := NewCertificate(g, cover, x)
+	if err != nil {
+		return nil, err
+	}
+	if forcedWeight != 0 {
+		c.Bound += forcedWeight
+	}
+	return c, nil
+}
+
 // Ratio returns the certified approximation ratio Weight/Bound. For an
 // edgeless graph both are zero and the ratio is defined as 1.
 func (c *Certificate) Ratio() float64 {

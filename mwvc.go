@@ -16,6 +16,13 @@
 // trajectory the paper is about is exposed as a first-class event stream, not
 // just two ints after the fact.
 //
+// Every solve stages through a Preprocess→Solve→Lift pipeline: weighted
+// kernelization rules (internal/reduce) shrink the instance, the selected
+// algorithm solves the kernel, and the cover and certificate are lifted back
+// to — and verified against — the original graph with exact weight
+// accounting. Reduction defaults to on; see WithoutReduction and
+// Solution.Reduction.
+//
 // Every algorithm registers itself with internal/solver from its own
 // package; the Algorithms list, the Solve dispatch, and the CLI -algo flag
 // all derive from that one table. The heavy lifting lives in the internal
@@ -34,8 +41,8 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/reduce"
 	"repro/internal/solver"
-	"repro/internal/verify"
 
 	// Each algorithm package registers its solvers from an init function;
 	// the facade imports them for that side effect.
@@ -160,10 +167,12 @@ type EventKind = solver.EventKind
 
 // Re-exported event kinds; see internal/solver for the per-kind contract.
 const (
-	KindPhaseStart = solver.KindPhaseStart
-	KindRound      = solver.KindRound
-	KindPhaseEnd   = solver.KindPhaseEnd
-	KindFinalPhase = solver.KindFinalPhase
+	KindPhaseStart  = solver.KindPhaseStart
+	KindRound       = solver.KindRound
+	KindPhaseEnd    = solver.KindPhaseEnd
+	KindFinalPhase  = solver.KindFinalPhase
+	KindReduceStart = solver.KindReduceStart
+	KindReduceEnd   = solver.KindReduceEnd
 )
 
 // MultiObserver fans events out to several observers in order, skipping nils.
@@ -174,8 +183,9 @@ func MultiObserver(obs ...Observer) Observer { return solver.MultiObserver(obs..
 type Option func(*settings)
 
 type settings struct {
-	algo Algorithm
-	cfg  solver.Config
+	algo   Algorithm
+	reduce bool
+	cfg    solver.Config
 }
 
 // WithAlgorithm selects the solver; default AlgoMPC.
@@ -212,6 +222,24 @@ func WithObserver(obs Observer) Option {
 	return func(s *settings) { s.cfg.Observer = obs }
 }
 
+// WithReduction enables the kernelization stage (the default): the instance
+// is shrunk by the weighted reduction rules of internal/reduce, the
+// selected algorithm solves the kernel, and the cover and certificate are
+// lifted back to — and verified against — the original graph. Reduction
+// never loosens the result: the forced weight adds exactly to both the
+// cover weight and the certified lower bound, so CertifiedRatio stays
+// meaningful (and Solution.Reduction reports what the stage did).
+func WithReduction() Option {
+	return func(s *settings) { s.reduce = true }
+}
+
+// WithoutReduction skips the kernelization stage: the selected algorithm
+// runs on the raw graph, reproducing the pre-reduction pipeline bit for
+// bit. Solution.Reduction is nil on this path.
+func WithoutReduction() Option {
+	return func(s *settings) { s.reduce = false }
+}
+
 // Solution is the outcome of Solve, with a self-contained quality
 // certificate whenever the algorithm provides one.
 type Solution struct {
@@ -235,21 +263,32 @@ type Solution struct {
 	Rounds int
 	// Phases counts the sampled MPC phases (AlgoMPC and AlgoGGK only).
 	Phases int
-	// Exact reports that Weight is the true optimum (AlgoExact only).
+	// Exact reports that Weight is the true optimum: AlgoExact, or any
+	// algorithm on an instance the reduction rules solved outright (empty
+	// kernel).
 	Exact bool
+	// Reduction reports what the kernelization stage did — instance size
+	// before and after, per-rule counts, forced weight, reduce time. It is
+	// nil when the solve ran WithoutReduction.
+	Reduction *ReductionStats
 }
+
+// ReductionStats is the kernelization accounting attached to a Solution;
+// see internal/reduce for the field-by-field contract.
+type ReductionStats = reduce.Stats
 
 // solutionJSON is the wire form of Solution. CertifiedRatio is a pointer
 // because encoding/json rejects non-finite floats: the +Inf "no guarantee
 // claimed" convention is carried as null on the wire.
 type solutionJSON struct {
-	Cover          []bool   `json:"cover,omitempty"`
-	Weight         float64  `json:"weight"`
-	Bound          float64  `json:"bound"`
-	CertifiedRatio *float64 `json:"certified_ratio"`
-	Rounds         int      `json:"rounds,omitempty"`
-	Phases         int      `json:"phases,omitempty"`
-	Exact          bool     `json:"exact,omitempty"`
+	Cover          []bool          `json:"cover,omitempty"`
+	Weight         float64         `json:"weight"`
+	Bound          float64         `json:"bound"`
+	CertifiedRatio *float64        `json:"certified_ratio"`
+	Rounds         int             `json:"rounds,omitempty"`
+	Phases         int             `json:"phases,omitempty"`
+	Exact          bool            `json:"exact,omitempty"`
+	Reduction      *ReductionStats `json:"reduction,omitempty"`
 }
 
 // MarshalJSON encodes the solution for service responses and benchmark
@@ -258,12 +297,13 @@ type solutionJSON struct {
 // it is mapped to a null certified_ratio; every other field encodes as-is.
 func (s Solution) MarshalJSON() ([]byte, error) {
 	out := solutionJSON{
-		Cover:  s.Cover,
-		Weight: s.Weight,
-		Bound:  s.Bound,
-		Rounds: s.Rounds,
-		Phases: s.Phases,
-		Exact:  s.Exact,
+		Cover:     s.Cover,
+		Weight:    s.Weight,
+		Bound:     s.Bound,
+		Rounds:    s.Rounds,
+		Phases:    s.Phases,
+		Exact:     s.Exact,
+		Reduction: s.Reduction,
 	}
 	if !math.IsInf(s.CertifiedRatio, 0) && !math.IsNaN(s.CertifiedRatio) {
 		r := s.CertifiedRatio
@@ -281,12 +321,13 @@ func (s *Solution) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	*s = Solution{
-		Cover:  in.Cover,
-		Weight: in.Weight,
-		Bound:  in.Bound,
-		Rounds: in.Rounds,
-		Phases: in.Phases,
-		Exact:  in.Exact,
+		Cover:     in.Cover,
+		Weight:    in.Weight,
+		Bound:     in.Bound,
+		Rounds:    in.Rounds,
+		Phases:    in.Phases,
+		Exact:     in.Exact,
+		Reduction: in.Reduction,
 	}
 	if in.CertifiedRatio != nil {
 		s.CertifiedRatio = *in.CertifiedRatio
@@ -318,7 +359,7 @@ func Solve(ctx context.Context, g *Graph, opts ...Option) (*Solution, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	s := settings{algo: AlgoMPC, cfg: solver.Config{Epsilon: 0.1}}
+	s := settings{algo: AlgoMPC, reduce: true, cfg: solver.Config{Epsilon: 0.1}}
 	for _, opt := range opts {
 		opt(&s)
 	}
@@ -332,43 +373,19 @@ func Solve(ctx context.Context, g *Graph, opts ...Option) (*Solution, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	out, err := reg.Solver.Solve(ctx, g, s.cfg)
+	p := solver.Pipeline{Solver: reg.Solver, Reduce: s.reduce, Config: s.cfg}
+	res, err := p.Run(ctx, g)
 	if err != nil {
 		return nil, err
 	}
-	return finish(g, out)
-}
-
-// finish verifies the cover, checks the dual certificate when one is
-// supplied, and fills the Solution. CertifiedRatio follows the convention
-// documented on the field: certificate ⇒ Weight/Bound; exact ⇒ 1; empty
-// cover ⇒ 1; otherwise +Inf (certificate-free, no guarantee claimed).
-func finish(g *Graph, out *solver.Outcome) (*Solution, error) {
-	if ok, e := verify.IsCover(g, out.Cover); !ok {
-		u, v := g.Edge(e)
-		return nil, fmt.Errorf("mwvc: internal error: edge (%d,%d) uncovered", u, v)
-	}
-	sol := &Solution{
-		Cover:  out.Cover,
-		Weight: verify.CoverWeight(g, out.Cover),
-		Rounds: out.Rounds,
-		Phases: out.Phases,
-		Exact:  out.Exact,
-	}
-	if out.Duals != nil {
-		cert, err := verify.NewCertificate(g, out.Cover, out.Duals)
-		if err != nil {
-			return nil, fmt.Errorf("mwvc: internal error: invalid certificate: %w", err)
-		}
-		sol.Bound = cert.Bound
-		sol.CertifiedRatio = cert.Ratio()
-	} else if out.Exact {
-		sol.Bound = sol.Weight
-		sol.CertifiedRatio = 1
-	} else if sol.Weight == 0 {
-		sol.CertifiedRatio = 1
-	} else {
-		sol.CertifiedRatio = math.Inf(1)
-	}
-	return sol, nil
+	return &Solution{
+		Cover:          res.Cover,
+		Weight:         res.Weight,
+		Bound:          res.Bound,
+		CertifiedRatio: res.CertifiedRatio,
+		Rounds:         res.Rounds,
+		Phases:         res.Phases,
+		Exact:          res.Exact,
+		Reduction:      res.Reduction,
+	}, nil
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -120,8 +121,23 @@ func TestSolveErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Solve(context.Background(), bg, WithAlgorithm(AlgoExact)); err == nil {
-		t.Fatal("exact on 100 vertices accepted")
+	// On the raw graph exact is out of its 64-vertex domain — and the error
+	// must point at the escape hatch: this instance kernelizes to nothing.
+	_, err = Solve(context.Background(), bg, WithAlgorithm(AlgoExact), WithoutReduction())
+	if err == nil {
+		t.Fatal("exact on 100 raw vertices accepted")
+	}
+	if !strings.Contains(err.Error(), "reduces to a 0-vertex kernel") {
+		t.Fatalf("oversize exact error does not report the kernel size: %v", err)
+	}
+	// With the default reduction the same solve succeeds exactly: the kernel
+	// (here empty) fits the solver even though the original does not.
+	sol, err := Solve(context.Background(), bg, WithAlgorithm(AlgoExact))
+	if err != nil {
+		t.Fatalf("exact via kernel: %v", err)
+	}
+	if !sol.Exact || sol.Weight != 1 {
+		t.Fatalf("exact via kernel: exact=%v weight=%v, want true/1", sol.Exact, sol.Weight)
 	}
 }
 

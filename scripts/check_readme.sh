@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Pins the README quickstart against flag drift: every `go run ./cmd/...`
-# command inside README.md's ```sh blocks must run successfully with the
-# current binaries. Commands that need a live server (curl / localhost /
+# and `go run ./examples/...` command inside README.md's ```sh blocks must
+# run successfully with the current binaries. Commands that need a live server (curl / localhost /
 # loadclient) are covered by the CI serve-smoke job instead and are skipped
 # here. A command carrying -timeout may legitimately exit nonzero on a slow
 # machine — but only with the documented "deadline exceeded after N rounds"
@@ -52,7 +52,7 @@ while IFS= read -r cmd; do
   ran=$((ran + 1))
 done < <(awk '/^```sh/{b=1; next} /^```/{b=0} b' README.md |
   sed 's/ *|.*$//' |
-  grep -E '^ *go run \./cmd/')
+  grep -E '^ *go run \./(cmd|examples)/')
 
 # The extraction itself is part of the pin: if a README restructure stops
 # producing commands, fail loudly instead of green-lighting nothing.
