@@ -21,16 +21,18 @@ bench:
 
 # Refresh the tracked perf snapshot: rolls BENCH.json's current numbers into
 # its baseline and measures the fixed MPC workload matrix (ns/op, allocs/op,
-# words routed per round), the million-edge streaming tier, and the
+# words routed per round), the million-edge streaming tier, the
 # kernelization tier (reduce+solve vs solve-alone on a pendant-heavy
-# 1M-edge instance).
+# 1M-edge instance), and the anytime-improvement tier (mpc vs mpc+200ms
+# local-search budget on a million-edge G(n,p)).
 bench-json:
 	$(GO) run ./cmd/mwvc-bench -json BENCH.json
 
 # bench-json with the regression gate armed: fails on >1.5x ns/op or
-# allocs/op regressions against the snapshot's baseline, and on the kernel
-# tier whenever reduce+solve does not beat solve-alone. A failed gate
-# leaves BENCH.json untouched.
+# allocs/op regressions against the snapshot's baseline, on the kernel
+# tier whenever reduce+solve does not beat solve-alone, and on the improve
+# tier whenever the 200ms budget buys no strictly lower weight. A failed
+# gate leaves BENCH.json untouched.
 bench-regress:
 	$(GO) run ./cmd/mwvc-bench -json BENCH.json -regress 1.5
 
@@ -44,8 +46,8 @@ fmt:
 	gofmt -w .
 
 # Documentation gate: vet, markdown link integrity, and doc-comment coverage
-# for the documented packages (internal/graph, internal/mpc, internal/solver,
-# internal/serve). Run by the CI docs job.
+# for the documented packages (internal/graph, internal/mpc, internal/reduce,
+# internal/improve, internal/solver, internal/serve). Run by the CI docs job.
 docs-check:
 	$(GO) vet ./...
 	$(GO) run ./cmd/mwvc-docs

@@ -41,13 +41,15 @@ type perfWorkload struct {
 }
 
 // perfSnapshot is one full measurement of the matrix plus the million-edge
-// streaming tier (stream.go) and the kernelization tier (kernel.go).
+// streaming tier (stream.go), the kernelization tier (kernel.go) and the
+// anytime-improvement tier (improve.go).
 type perfSnapshot struct {
-	Generated  string         `json:"generated"`
-	Go         string         `json:"go"`
-	Workloads  []perfWorkload `json:"workloads"`
-	StreamTier *streamTier    `json:"stream_tier,omitempty"`
-	KernelTier *kernelTier    `json:"kernel_tier,omitempty"`
+	Generated   string         `json:"generated"`
+	Go          string         `json:"go"`
+	Workloads   []perfWorkload `json:"workloads"`
+	StreamTier  *streamTier    `json:"stream_tier,omitempty"`
+	KernelTier  *kernelTier    `json:"kernel_tier,omitempty"`
+	ImproveTier *improveTier   `json:"improve_tier,omitempty"`
 }
 
 // benchFile is the on-disk BENCH.json layout.
@@ -170,6 +172,23 @@ func runPerfSnapshot(path string, regress float64) error {
 	// The reduction claim is absolute; the wall-clock win is gated when
 	// -regress is set (a failed gate leaves the snapshot file untouched).
 	if err := checkKernelTier(kt, regress); err != nil {
+		return err
+	}
+
+	fmt.Printf("measuring %s (n=%d, d=%g, mpc vs mpc+%v improvement)...\n",
+		improveTierSpec.name, improveTierSpec.n, improveTierSpec.d, improveTierSpec.budget)
+	it, err := measureImproveTier()
+	if err != nil {
+		return err
+	}
+	cur.ImproveTier = it
+	fmt.Printf("  %d edges; weight %.0f → %.0f (-%.2f%%) at bound %.0f; "+
+		"first improvement after %.1fms, %d steps in %dms (converged=%v)\n",
+		it.Edges, it.SolverWeight, it.ImprovedWeight, it.WeightReductionPct, it.Bound,
+		float64(it.TimeToFirstNs)/1e6, it.Steps, it.ImproveNs/1e6, it.Converged)
+	// Monotonicity is absolute; the strict-improvement claim is gated when
+	// -regress is set.
+	if err := checkImproveTier(it, regress); err != nil {
 		return err
 	}
 

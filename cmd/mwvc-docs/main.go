@@ -34,6 +34,7 @@ var docPackages = []string{
 	"internal/graph",
 	"internal/mpc",
 	"internal/reduce",
+	"internal/improve",
 	"internal/solver",
 	"internal/serve",
 }

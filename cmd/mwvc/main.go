@@ -40,6 +40,7 @@ func main() {
 		weights   = flag.String("weights", "uniform", "weight model: "+strings.Join(cli.WeightModels(), " | "))
 		paper     = flag.Bool("paper-constants", false, "use the paper's literal asymptotic constants for the MPC algorithm")
 		reduce    = flag.Bool("reduce", true, "kernelize the instance with the weighted reduction rules before solving; -reduce=false solves the raw graph")
+		improve   = flag.Duration("improve", 0, "run the anytime local-search improvement stage with this wall-clock budget after the solve (0 = off)")
 		compare   = flag.Bool("compare", false, "also run the baselines and print a comparison")
 		trace     = flag.Bool("trace", false, "stream per-phase and per-round solve events to stderr")
 		timeout   = flag.Duration("timeout", 0, "abort the solve after this long (0 = no deadline)")
@@ -91,6 +92,9 @@ func main() {
 		if !*reduce {
 			opts = append(opts, mwvc.WithoutReduction())
 		}
+		if *improve > 0 {
+			opts = append(opts, mwvc.WithImprovement(*improve))
+		}
 		opts = append(opts, extra...)
 		start := time.Now()
 		sol, err := mwvc.Solve(ctx, g, opts...)
@@ -107,6 +111,22 @@ func main() {
 				r.OriginalVertices, r.KernelVertices, r.OriginalEdges, r.KernelEdges,
 				r.Isolated, r.Pendant, r.Domination, r.NeighborhoodWeight,
 				r.ForcedWeight, time.Duration(r.ReduceNS).Round(time.Millisecond))
+		}
+		if primary && sol.Improvement != nil {
+			imp := sol.Improvement
+			delta := imp.WeightBefore - imp.WeightAfter
+			pct := 0.0
+			if imp.WeightBefore > 0 {
+				pct = 100 * delta / imp.WeightBefore
+			}
+			state := "budget"
+			if imp.Converged {
+				state = "converged"
+			}
+			fmt.Printf("improve: weight %.2f→%.2f (-%.2f, %.2f%%) steps=%d (redundant %d, swaps %d) %s  [%v]\n",
+				imp.WeightBefore, imp.WeightAfter, delta, pct,
+				imp.Steps, imp.RedundantRemoved, imp.Swaps, state,
+				time.Duration(imp.ImproveNS).Round(time.Millisecond))
 		}
 		line := fmt.Sprintf("%-18s weight=%.2f", a, sol.Weight)
 		// CertifiedRatio is +Inf for certificate-free algorithms (greedy);
@@ -185,6 +205,12 @@ func traceEvent(e mwvc.Event) {
 		fmt.Fprintf(os.Stderr, "[trace] reduce start: edges=%d\n", e.ActiveEdges)
 	case mwvc.KindReduceEnd:
 		fmt.Fprintf(os.Stderr, "[trace] reduce done: kernel_edges=%d\n", e.ActiveEdges)
+	case mwvc.KindImproveStart:
+		fmt.Fprintf(os.Stderr, "[trace] improve start: weight=%.3f edges=%d\n", e.Weight, e.ActiveEdges)
+	case mwvc.KindImproveStep:
+		fmt.Fprintf(os.Stderr, "[trace]   improve step %d: weight=%.3f\n", e.Round, e.Weight)
+	case mwvc.KindImproveEnd:
+		fmt.Fprintf(os.Stderr, "[trace] improve done: weight=%.3f steps=%d\n", e.Weight, e.Round)
 	}
 }
 

@@ -7,6 +7,11 @@
 //
 //	go run ./cmd/mwvc-serve &
 //	go run ./examples/loadclient -addr http://localhost:8437 -requests 256 -concurrency 64
+//
+// With -deadline set, a fraction of the requests (-deadline-frac) carry an
+// improve_budget_ms anytime-improvement budget, exercising the deadline
+// path under concurrency; the report then splits latency per class and adds
+// the mean weight improvement the budget bought.
 package main
 
 import (
@@ -48,6 +53,8 @@ func main() {
 		n           = flag.Int("n", 2000, "vertices per generated instance")
 		d           = flag.Float64("d", 16, "average degree per generated instance")
 		seeds       = flag.Int("seeds", 8, "distinct seeds (lower = more cache hits)")
+		deadline    = flag.Duration("deadline", 0, "anytime improvement budget to send on a fraction of requests (0 = plain traffic only)")
+		deadlineFr  = flag.Float64("deadline-frac", 0.5, "fraction of requests that carry the -deadline improvement budget")
 	)
 	flag.Parse()
 	if *seeds < 1 {
@@ -77,14 +84,24 @@ func main() {
 
 	algos := []string{"mpc", "centralized", "bye", "greedy"}
 	var (
-		wg        sync.WaitGroup
-		sem       = make(chan struct{}, *concurrency)
-		mu        sync.Mutex
-		latencies []time.Duration
-		cached    atomic.Int64
-		retries   atomic.Int64
-		failures  atomic.Int64
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, *concurrency)
+		mu       sync.Mutex
+		byClass  = map[string][]time.Duration{}
+		improved []float64 // weight reduction percent per deadline request
+		cached   atomic.Int64
+		retries  atomic.Int64
+		failures atomic.Int64
 	)
+	// In -deadline mode, every deadlineStride-th request carries the budget;
+	// a stride (not a coin flip) keeps the mix exact and the run reproducible.
+	deadlineStride := 0
+	if *deadline > 0 && *deadlineFr > 0 {
+		if *deadlineFr > 1 {
+			*deadlineFr = 1
+		}
+		deadlineStride = int(math.Round(1 / *deadlineFr))
+	}
 	start := time.Now()
 	for i := 0; i < *requests; i++ {
 		wg.Add(1)
@@ -92,11 +109,17 @@ func main() {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			body, _ := json.Marshal(map[string]any{
+			class := "plain"
+			payload := map[string]any{
 				"graph":     hashes[i%len(hashes)],
 				"algorithm": algos[i%len(algos)],
 				"seed":      i % *seeds,
-			})
+			}
+			if deadlineStride > 0 && i%deadlineStride == 0 {
+				class = "deadline"
+				payload["improve_budget_ms"] = deadline.Milliseconds()
+			}
+			body, _ := json.Marshal(payload)
 			t0 := time.Now()
 			for {
 				resp, err := client.Post(*addr+"/v1/solve", "application/json", bytes.NewReader(body))
@@ -128,7 +151,10 @@ func main() {
 					cached.Add(1)
 				}
 				mu.Lock()
-				latencies = append(latencies, time.Since(t0))
+				byClass[class] = append(byClass[class], time.Since(t0))
+				if imp := sr.Solution.Improvement; imp != nil && imp.WeightBefore > 0 {
+					improved = append(improved, 100*(imp.WeightBefore-imp.WeightAfter)/imp.WeightBefore)
+				}
 				mu.Unlock()
 				return
 			}
@@ -137,21 +163,39 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	quantile := func(q float64) time.Duration {
-		if len(latencies) == 0 {
+	quantile := func(ls []time.Duration, q float64) time.Duration {
+		if len(ls) == 0 {
 			return 0
 		}
-		idx := int(q * float64(len(latencies)-1))
-		return latencies[idx]
+		return ls[int(q*float64(len(ls)-1))]
 	}
-	ok := len(latencies)
+	ok := 0
+	for _, ls := range byClass {
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		ok += len(ls)
+	}
 	fmt.Printf("\n%d requests in %v (%.0f req/s): %d ok, %d failed, %d cache hits, %d backpressure retries\n",
 		*requests, elapsed.Round(time.Millisecond), float64(ok)/elapsed.Seconds(),
 		ok, failures.Load(), cached.Load(), retries.Load())
-	fmt.Printf("latency p50=%v p90=%v p99=%v max=%v\n",
-		quantile(0.50).Round(time.Millisecond), quantile(0.90).Round(time.Millisecond),
-		quantile(0.99).Round(time.Millisecond), quantile(1.0).Round(time.Millisecond))
+	for _, class := range []string{"plain", "deadline"} {
+		ls := byClass[class]
+		if len(ls) == 0 {
+			continue
+		}
+		fmt.Printf("latency[%s] n=%d p50=%v p90=%v p99=%v max=%v\n",
+			class, len(ls),
+			quantile(ls, 0.50).Round(time.Millisecond), quantile(ls, 0.90).Round(time.Millisecond),
+			quantile(ls, 0.99).Round(time.Millisecond), quantile(ls, 1.0).Round(time.Millisecond))
+	}
+	if len(improved) > 0 {
+		mean := 0.0
+		for _, p := range improved {
+			mean += p
+		}
+		mean /= float64(len(improved))
+		fmt.Printf("improvement[%v budget]: %d solves improved, mean weight reduction %.2f%%\n",
+			*deadline, len(improved), mean)
+	}
 
 	// One certified response, decoded through the Solution JSON round-trip:
 	// null certified_ratio (no certificate) comes back as +Inf.

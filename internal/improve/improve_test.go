@@ -1,0 +1,306 @@
+package improve
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+// fullCover marks every vertex — the maximally redundant starting point.
+func fullCover(g *graph.Graph) []bool {
+	c := make([]bool, g.NumVertices())
+	for v := range c {
+		c[v] = true
+	}
+	return c
+}
+
+func mustGraph(t *testing.T, gen string, n int, d float64, weights string, seed uint64) *graph.Graph {
+	t.Helper()
+	g, err := cli.BuildGraph(gen, n, d, weights, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunRejectsInvalidInput(t *testing.T) {
+	g := mustGraph(t, "gnp", 50, 4, "uniform", 1)
+	if _, _, err := Run(context.Background(), g, make([]bool, 3), Options{}); err == nil {
+		t.Fatal("wrong-length cover accepted")
+	}
+	if _, _, err := Run(context.Background(), g, make([]bool, g.NumVertices()), Options{}); err == nil {
+		t.Fatal("empty non-cover accepted")
+	}
+}
+
+// TestImprovesAndStaysValid is the core contract: on a range of instances,
+// starting from the all-vertices cover, the result is a valid cover that is
+// never heavier, and the Stats weights are bitwise recomputed sums.
+func TestImprovesAndStaysValid(t *testing.T) {
+	for _, spec := range []struct {
+		name, gen, weights string
+		n                  int
+		d                  float64
+	}{
+		{"gnp-uniform", "gnp", "uniform", 400, 6},
+		{"powerlaw-unit", "powerlaw", "unit", 400, 3},
+		{"star", "star", "uniform", 200, 0},
+		{"grid", "grid", "uniform", 144, 4},
+	} {
+		t.Run(spec.name, func(t *testing.T) {
+			g := mustGraph(t, spec.gen, spec.n, spec.d, spec.weights, 7)
+			in := fullCover(g)
+			out, st, err := Run(context.Background(), g, in, Options{Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok, e := verify.IsCover(g, out); !ok {
+				t.Fatalf("improved cover misses edge %d", e)
+			}
+			if math.Float64bits(st.WeightBefore) != math.Float64bits(verify.CoverWeight(g, in)) {
+				t.Fatalf("WeightBefore %v != recomputed %v", st.WeightBefore, verify.CoverWeight(g, in))
+			}
+			if math.Float64bits(st.WeightAfter) != math.Float64bits(verify.CoverWeight(g, out)) {
+				t.Fatalf("WeightAfter %v != recomputed %v", st.WeightAfter, verify.CoverWeight(g, out))
+			}
+			if st.WeightAfter > st.WeightBefore {
+				t.Fatalf("weight increased: %v -> %v", st.WeightBefore, st.WeightAfter)
+			}
+			if g.NumEdges() > 0 && st.WeightAfter == st.WeightBefore {
+				t.Fatal("full cover of a non-empty graph not improved at all")
+			}
+			if !st.Converged {
+				t.Fatal("unbudgeted run did not converge")
+			}
+			if st.Steps != st.RedundantRemoved+st.Swaps {
+				t.Fatalf("step accounting inconsistent: %+v", st)
+			}
+			// Input must not be mutated.
+			for v := range in {
+				if !in[v] {
+					t.Fatal("input cover mutated")
+				}
+			}
+		})
+	}
+}
+
+// TestNoRedundancyAtConvergence: a converged cover has no redundant vertex —
+// every cover vertex covers at least one edge alone.
+func TestNoRedundancyAtConvergence(t *testing.T) {
+	g := mustGraph(t, "gnp", 300, 8, "uniform", 9)
+	out, st, err := Run(context.Background(), g, fullCover(g), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatal("run did not converge")
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if !out[v] {
+			continue
+		}
+		alone := false
+		for _, u := range g.Neighbors(graph.Vertex(v)) {
+			if !out[u] {
+				alone = true
+				break
+			}
+		}
+		if !alone && g.Degree(graph.Vertex(v)) > 0 {
+			t.Fatalf("vertex %d is redundant at convergence", v)
+		}
+	}
+}
+
+// TestSwapBeatsRedundancyOnly pins that phase 2 earns its keep: on a star
+// with a heavy hub and cheap leaves, the hub-only cover has no redundant
+// vertex, yet swapping the hub for the leaves wins.
+func TestSwapBeatsRedundancyOnly(t *testing.T) {
+	b := graph.NewBuilder(6)
+	b.SetWeight(0, 100)
+	for l := graph.Vertex(1); l < 6; l++ {
+		b.SetWeight(l, 1)
+		b.AddEdge(0, l)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover := make([]bool, 6)
+	cover[0] = true // valid, irredundant, and 20x too heavy
+	out, st, err := Run(context.Background(), g, cover, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] || st.WeightAfter != 5 {
+		t.Fatalf("swap not applied: cover[0]=%v weight=%v", out[0], st.WeightAfter)
+	}
+	if st.Swaps == 0 {
+		t.Fatal("no swap recorded")
+	}
+	if st.TimeToFirstNS <= 0 {
+		t.Fatalf("TimeToFirstNS = %d, want > 0", st.TimeToFirstNS)
+	}
+}
+
+// TestDeterministicForSeed: converged runs are a pure function of the seed.
+func TestDeterministicForSeed(t *testing.T) {
+	g := mustGraph(t, "powerlaw", 500, 4, "uniform", 13)
+	a, sa, err := Run(context.Background(), g, fullCover(g), Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, sb, err := Run(context.Background(), g, fullCover(g), Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(sa.WeightAfter) != math.Float64bits(sb.WeightAfter) {
+		t.Fatalf("weights differ across identical runs: %v vs %v", sa.WeightAfter, sb.WeightAfter)
+	}
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("cover bit %d differs across identical runs", v)
+		}
+	}
+}
+
+// TestMidStepCancellation pins the anytime bugfix contract: cancelling the
+// context between accepted swaps must stop the run without ever returning a
+// worse or invalid cover. OnStep fires synchronously after each accepted
+// move, so cancelling from inside it is exactly "between accepted swaps".
+func TestMidStepCancellation(t *testing.T) {
+	g := mustGraph(t, "gnp", 600, 10, "uniform", 21)
+	in := fullCover(g)
+	// Reference run: how many moves a full convergence takes.
+	_, full, err := Run(context.Background(), g, in, Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Steps < 4 {
+		t.Fatalf("instance too easy to exercise cancellation: %d steps", full.Steps)
+	}
+	for _, cutAt := range []int{1, 2, full.Steps / 2} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var weights []float64
+		out, st, err := Run(ctx, g, in, Options{
+			Seed: 8,
+			OnStep: func(step int, weight float64) {
+				weights = append(weights, weight)
+				if step == cutAt {
+					cancel()
+				}
+			},
+		})
+		cancel()
+		if err != nil {
+			t.Fatalf("cutAt=%d: cancellation surfaced as error: %v", cutAt, err)
+		}
+		if ok, e := verify.IsCover(g, out); !ok {
+			t.Fatalf("cutAt=%d: cover after cancellation misses edge %d", cutAt, e)
+		}
+		if st.Converged {
+			t.Fatalf("cutAt=%d: cancelled run claims convergence", cutAt)
+		}
+		if st.WeightAfter > st.WeightBefore {
+			t.Fatalf("cutAt=%d: cancelled run got worse: %v -> %v", cutAt, st.WeightBefore, st.WeightAfter)
+		}
+		if math.Float64bits(st.WeightAfter) != math.Float64bits(verify.CoverWeight(g, out)) {
+			t.Fatalf("cutAt=%d: WeightAfter not the recomputed weight", cutAt)
+		}
+		// The streamed weights are strictly decreasing: every accepted move
+		// is a strict improvement, also under cancellation.
+		for i := 1; i < len(weights); i++ {
+			if weights[i] >= weights[i-1] {
+				t.Fatalf("cutAt=%d: step %d weight %v not below %v", cutAt, i, weights[i], weights[i-1])
+			}
+		}
+		if len(weights) < cutAt {
+			t.Fatalf("cutAt=%d: only %d steps streamed", cutAt, len(weights))
+		}
+	}
+}
+
+// TestBudgetExpiry: an already-expired budget returns the input cover
+// unchanged (no moves), still as a valid non-error result.
+func TestBudgetExpiry(t *testing.T) {
+	g := mustGraph(t, "gnp", 400, 8, "uniform", 2)
+	in := fullCover(g)
+	out, st, err := Run(context.Background(), g, in, Options{Seed: 1, Budget: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := verify.IsCover(g, out); !ok {
+		t.Fatal("cover invalid after immediate budget expiry")
+	}
+	if st.WeightAfter > st.WeightBefore {
+		t.Fatal("budget expiry made the cover heavier")
+	}
+	// A generous budget on a small instance converges like the unbudgeted run.
+	out2, st2, err := Run(context.Background(), g, in, Options{Seed: 1, Budget: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Converged {
+		t.Fatal("generous budget did not converge")
+	}
+	ref, _, err := Run(context.Background(), g, in, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range ref {
+		if out2[v] != ref[v] {
+			t.Fatalf("budgeted converged run differs from unbudgeted at %d", v)
+		}
+	}
+}
+
+// TestAlreadyCancelledContext: a pre-cancelled context is not an error; the
+// input comes back untouched.
+func TestAlreadyCancelledContext(t *testing.T) {
+	g := mustGraph(t, "grid", 100, 4, "unit", 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := fullCover(g)
+	out, st, err := Run(ctx, g, in, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Steps != 0 {
+		t.Fatalf("pre-cancelled run accepted %d moves", st.Steps)
+	}
+	if ok, _ := verify.IsCover(g, out); !ok {
+		t.Fatal("cover invalid")
+	}
+	if math.Float64bits(st.WeightAfter) != math.Float64bits(st.WeightBefore) {
+		t.Fatal("pre-cancelled run changed the weight")
+	}
+}
+
+// TestEdgelessGraph: the empty cover of an edgeless graph converges to
+// weight 0 immediately.
+func TestEdgelessGraph(t *testing.T) {
+	b := graph.NewBuilder(5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, st, err := Run(context.Background(), g, fullCover(g), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WeightAfter != 0 || !st.Converged {
+		t.Fatalf("edgeless: %+v", st)
+	}
+	for v := range out {
+		if out[v] {
+			t.Fatal("edgeless cover kept a vertex")
+		}
+	}
+}

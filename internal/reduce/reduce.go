@@ -93,6 +93,22 @@ func (t *Trace) Lift(kernelCover []bool) (cover []bool, forcedWeight float64) {
 	return cover, t.forcedW
 }
 
+// Restrict inverts Lift on the kernel coordinates: it projects a cover of
+// the original graph down to the kernel's vertex ids, dropping the forced
+// and eliminated vertices. Restrict(Lift(c)) == c for every kernel cover c,
+// which lets tests and tools audit exactly what a downstream stage (e.g.
+// the anytime improvement) did to the kernel cover after lifting.
+func (t *Trace) Restrict(cover []bool) []bool {
+	if len(cover) != t.orig.NumVertices() {
+		panic("reduce: Restrict cover length does not match original")
+	}
+	out := make([]bool, len(t.toOrig))
+	for i, v := range t.toOrig {
+		out[i] = cover[v]
+	}
+	return out
+}
+
 // LiftDuals re-indexes a feasible fractional matching on the kernel onto
 // the original graph's edge ids (zero on every non-kernel edge). The result
 // is feasible on the original graph: kernel vertices keep their incident

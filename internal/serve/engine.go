@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -95,6 +96,12 @@ type SolveParams struct {
 	// the solver's input — and thus potentially its output — so it is part
 	// of the solution-cache key.
 	NoReduce bool
+	// ImproveBudgetMS, when positive, enables the anytime local-search
+	// improvement stage (mwvc.WithImprovement) with that many milliseconds
+	// of wall-clock budget; 0 keeps the facade default of improvement off.
+	// The budget changes the returned cover, so it is part of the
+	// solution-cache key; values above Config.MaxTimeout are clamped to it.
+	ImproveBudgetMS int64
 	// Timeout is the per-request deadline; 0 means the engine default, and
 	// values above Config.MaxTimeout are clamped to it. The clock starts at
 	// admission, so time spent waiting in the queue counts against it — a
@@ -105,12 +112,13 @@ type SolveParams struct {
 }
 
 type cacheKey struct {
-	hash     string
-	algo     string
-	eps      float64
-	seed     uint64
-	paper    bool
-	noReduce bool
+	hash      string
+	algo      string
+	eps       float64
+	seed      uint64
+	paper     bool
+	noReduce  bool
+	improveMS int64
 }
 
 // Status is a request's lifecycle state.
@@ -488,6 +496,12 @@ func (e *Engine) Submit(p SolveParams) (*Request, error) {
 	if p.Timeout > e.cfg.MaxTimeout {
 		p.Timeout = e.cfg.MaxTimeout
 	}
+	if p.ImproveBudgetMS < 0 {
+		p.ImproveBudgetMS = 0 // normalized so cache keys agree
+	}
+	if lim := e.cfg.MaxTimeout.Milliseconds(); p.ImproveBudgetMS > lim {
+		p.ImproveBudgetMS = lim
+	}
 	now := time.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -563,7 +577,8 @@ func (e *Engine) worker() {
 }
 
 func keyOf(p SolveParams) cacheKey {
-	return cacheKey{hash: p.GraphHash, algo: p.Algorithm, eps: p.Epsilon, seed: p.Seed, paper: p.PaperConstants, noReduce: p.NoReduce}
+	return cacheKey{hash: p.GraphHash, algo: p.Algorithm, eps: p.Epsilon, seed: p.Seed,
+		paper: p.PaperConstants, noReduce: p.NoReduce, improveMS: p.ImproveBudgetMS}
 }
 
 // run executes one dequeued request end to end: deadline context, observed
@@ -631,6 +646,9 @@ func (e *Engine) run(req *Request) {
 	if p.NoReduce {
 		opts = append(opts, mwvc.WithoutReduction())
 	}
+	if p.ImproveBudgetMS > 0 {
+		opts = append(opts, mwvc.WithImprovement(time.Duration(p.ImproveBudgetMS)*time.Millisecond))
+	}
 	start := time.Now()
 	sol, err := mwvc.Solve(ctx, sg.Graph, opts...)
 	elapsed := time.Since(start)
@@ -646,6 +664,13 @@ func (e *Engine) run(req *Request) {
 		e.met.reduceNanos.Add(r.ReduceNS)
 		e.met.reduceVerticesRemoved.Add(int64(r.OriginalVertices - r.KernelVertices))
 		e.met.reduceEdgesRemoved.Add(int64(r.OriginalEdges - r.KernelEdges))
+	}
+	if err == nil && sol.Improvement != nil {
+		imp := sol.Improvement
+		e.met.improveCount.Add(1)
+		e.met.improveNanos.Add(imp.ImproveNS)
+		e.met.improveSteps.Add(int64(imp.Steps))
+		e.met.improveWeightRemoved.Add(imp.WeightBefore - imp.WeightAfter)
 	}
 
 	if err != nil {
@@ -699,9 +724,34 @@ type engineMetrics struct {
 	reduceVerticesRemoved atomic.Int64
 	reduceEdgesRemoved    atomic.Int64
 
+	// Anytime-improvement accounting across successful solver executions
+	// that ran the stage (same exclusions as the reduce counters).
+	improveCount         atomic.Int64
+	improveNanos         atomic.Int64
+	improveSteps         atomic.Int64
+	improveWeightRemoved atomicFloat64
+
 	algoMu  sync.Mutex
 	perAlgo map[string]int64
 }
+
+// atomicFloat64 accumulates a float64 sum via compare-and-swap on the bit
+// pattern; the cover weight removed per solve is not an integer, and
+// Prometheus counters are float-valued anyway.
+type atomicFloat64 struct{ bits atomic.Uint64 }
+
+// Add accumulates v into the sum.
+func (a *atomicFloat64) Add(v float64) {
+	for {
+		old := a.bits.Load()
+		if a.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Load returns the current sum.
+func (a *atomicFloat64) Load() float64 { return math.Float64frombits(a.bits.Load()) }
 
 func (m *engineMetrics) algoCount(algo string) {
 	m.algoMu.Lock()

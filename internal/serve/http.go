@@ -68,8 +68,13 @@ type SolveRequest struct {
 	// Reduce toggles the kernelization stage; omitted or true runs it (the
 	// facade default), false solves the raw graph. It is part of the
 	// solution-cache key.
-	Reduce    *bool `json:"reduce,omitempty"`
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	Reduce *bool `json:"reduce,omitempty"`
+	// ImproveBudgetMS, when positive, runs the anytime improvement stage
+	// with that wall-clock budget after the solve; improvement statistics
+	// appear under solution.improvement. It is part of the solution-cache
+	// key.
+	ImproveBudgetMS int64 `json:"improve_budget_ms,omitempty"`
+	TimeoutMS       int64 `json:"timeout_ms,omitempty"`
 	// IncludeCover adds the cover bitmap to the response (omitted by default:
 	// it is n booleans, usually the bulk of the payload).
 	IncludeCover bool `json:"include_cover,omitempty"`
@@ -89,11 +94,15 @@ type SolveResponse struct {
 	Seed      uint64  `json:"seed"`
 	// Reduce echoes whether the kernelization stage was enabled for this
 	// request; kernel statistics appear under solution.reduction.
-	Reduce    bool           `json:"reduce"`
-	Solution  *mwvc.Solution `json:"solution,omitempty"`
-	CoverSize int            `json:"cover_size,omitempty"`
-	Error     string         `json:"error,omitempty"`
-	Rounds    int            `json:"rounds,omitempty"` // live count while running
+	Reduce bool `json:"reduce"`
+	// ImproveBudgetMS echoes the effective (clamped) improvement budget; 0
+	// means the stage was off. Stage statistics appear under
+	// solution.improvement.
+	ImproveBudgetMS int64          `json:"improve_budget_ms,omitempty"`
+	Solution        *mwvc.Solution `json:"solution,omitempty"`
+	CoverSize       int            `json:"cover_size,omitempty"`
+	Error           string         `json:"error,omitempty"`
+	Rounds          int            `json:"rounds,omitempty"` // live count while running
 	// TraceDropped is nonzero when the round-by-round trace was truncated
 	// beyond the per-request buffer cap.
 	TraceDropped int   `json:"trace_dropped,omitempty"`
@@ -134,13 +143,14 @@ func (s *server) solve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req, err := s.engine.Submit(SolveParams{
-		GraphHash:      body.Graph,
-		Algorithm:      body.Algorithm,
-		Epsilon:        body.Epsilon,
-		Seed:           body.Seed,
-		PaperConstants: body.PaperConstants,
-		NoReduce:       body.Reduce != nil && !*body.Reduce,
-		Timeout:        time.Duration(body.TimeoutMS) * time.Millisecond,
+		GraphHash:       body.Graph,
+		Algorithm:       body.Algorithm,
+		Epsilon:         body.Epsilon,
+		Seed:            body.Seed,
+		PaperConstants:  body.PaperConstants,
+		NoReduce:        body.Reduce != nil && !*body.Reduce,
+		ImproveBudgetMS: body.ImproveBudgetMS,
+		Timeout:         time.Duration(body.TimeoutMS) * time.Millisecond,
 	})
 	if err != nil {
 		switch {
@@ -211,17 +221,18 @@ func solveStatusCode(err error) int {
 // CoverSize always reports its cardinality.
 func (s *server) response(req *Request, snap Snapshot, includeCover bool) SolveResponse {
 	resp := SolveResponse{
-		ID:           req.ID,
-		Status:       snap.Status,
-		Cached:       snap.Cached,
-		Graph:        req.Params.GraphHash,
-		Algorithm:    req.Params.Algorithm,
-		Epsilon:      req.Params.Epsilon,
-		Seed:         req.Params.Seed,
-		Reduce:       !req.Params.NoReduce,
-		Error:        snap.ErrMsg,
-		Rounds:       snap.Rounds,
-		TraceDropped: snap.TraceDropped,
+		ID:              req.ID,
+		Status:          snap.Status,
+		Cached:          snap.Cached,
+		Graph:           req.Params.GraphHash,
+		Algorithm:       req.Params.Algorithm,
+		Epsilon:         req.Params.Epsilon,
+		Seed:            req.Params.Seed,
+		Reduce:          !req.Params.NoReduce,
+		ImproveBudgetMS: req.Params.ImproveBudgetMS,
+		Error:           snap.ErrMsg,
+		Rounds:          snap.Rounds,
+		TraceDropped:    snap.TraceDropped,
 	}
 	if !snap.StartedAt.IsZero() {
 		resp.QueueMS = snap.StartedAt.Sub(snap.QueuedAt).Milliseconds()
@@ -252,6 +263,8 @@ type traceEventJSON struct {
 	Degree      float64 `json:"degree,omitempty"`
 	Machines    int     `json:"machines,omitempty"`
 	Iterations  int     `json:"iterations,omitempty"`
+	// Weight is the current cover weight for improvement-stage events.
+	Weight float64 `json:"weight,omitempty"`
 }
 
 func (s *server) trace(w http.ResponseWriter, r *http.Request) {
@@ -311,6 +324,7 @@ func writeSSE(w http.ResponseWriter, e *mwvc.Event) {
 		Degree:      e.Degree,
 		Machines:    e.Machines,
 		Iterations:  e.Iterations,
+		Weight:      e.Weight,
 	})
 	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Kind.String(), data)
 }

@@ -43,6 +43,14 @@ type Metrics struct {
 	ReduceVerticesRemoved int64
 	ReduceEdgesRemoved    int64
 
+	// Anytime-improvement accounting across successful solver executions
+	// that ran the stage (requests without an improve budget, exact solves —
+	// which skip the stage — failed solves and cache hits excluded).
+	ImproveCount         int64
+	ImproveSeconds       float64
+	ImproveSteps         int64
+	ImproveWeightRemoved float64
+
 	// PerAlgorithm counts solver executions by algorithm (successful or
 	// failed; cache hits excluded).
 	PerAlgorithm map[string]int64
@@ -68,6 +76,11 @@ func (e *Engine) Metrics() Metrics {
 		ReduceSeconds:         time.Duration(e.met.reduceNanos.Load()).Seconds(),
 		ReduceVerticesRemoved: e.met.reduceVerticesRemoved.Load(),
 		ReduceEdgesRemoved:    e.met.reduceEdgesRemoved.Load(),
+
+		ImproveCount:         e.met.improveCount.Load(),
+		ImproveSeconds:       time.Duration(e.met.improveNanos.Load()).Seconds(),
+		ImproveSteps:         e.met.improveSteps.Load(),
+		ImproveWeightRemoved: e.met.improveWeightRemoved.Load(),
 	}
 	e.met.algoMu.Lock()
 	if len(e.met.perAlgo) > 0 {
@@ -104,6 +117,10 @@ func WriteMetrics(w io.Writer, m Metrics) error {
 		{"mwvc_reduce_seconds_sum", "Total wall-clock seconds spent kernelizing (successful solves).", "counter", m.ReduceSeconds},
 		{"mwvc_reduce_vertices_removed_total", "Vertices removed by kernelization across successful solves.", "counter", float64(m.ReduceVerticesRemoved)},
 		{"mwvc_reduce_edges_removed_total", "Edges removed by kernelization across successful solves.", "counter", float64(m.ReduceEdgesRemoved)},
+		{"mwvc_improve_total", "Successful solver executions that ran the anytime improvement stage.", "counter", float64(m.ImproveCount)},
+		{"mwvc_improve_seconds_sum", "Total wall-clock seconds spent improving (successful solves).", "counter", m.ImproveSeconds},
+		{"mwvc_improve_steps_total", "Accepted improvement moves across successful solves.", "counter", float64(m.ImproveSteps)},
+		{"mwvc_improve_weight_removed_total", "Cover weight removed by improvement across successful solves.", "counter", m.ImproveWeightRemoved},
 	}
 	for _, r := range rows {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", r.name, r.help, r.name, r.kind, r.name, r.value); err != nil {

@@ -486,3 +486,118 @@ func TestReductionCacheKeyAndMetrics(t *testing.T) {
 		t.Fatalf("Prometheus exposition lacks mwvc_reduce_total:\n%s", b.String())
 	}
 }
+
+func TestImprovementCacheKeyAndMetrics(t *testing.T) {
+	// The same tuple with and without an improvement budget is two different
+	// solves; each flavor hits only its own cache entry, the improved run
+	// surfaces stats and feeds the mwvc_improve_* metrics, and the improved
+	// cover is never heavier than the plain one at an identical bound.
+	e := newTestEngine(t, Config{Workers: 1, QueueDepth: 8})
+	// The gated solver (no gate set: immediate) returns the all-vertices
+	// cover, guaranteeing the improvement stage real redundancy to remove.
+	hash := addGraph(t, e, testGraph(t, 4, 200, 8))
+	run := func(budgetMS int64) *mwvc.Solution {
+		t.Helper()
+		req, err := e.Submit(SolveParams{GraphHash: hash, Algorithm: "test-gated", Seed: 5, ImproveBudgetMS: budgetMS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := req.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		sol, err := req.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if req.IsCached() {
+			t.Fatalf("budget=%dms answered from cache on first submission", budgetMS)
+		}
+		return sol
+	}
+	plain := run(0)
+	improved := run(5000)
+	if plain.Improvement != nil {
+		t.Fatal("no-budget solve attached improvement stats")
+	}
+	if improved.Improvement == nil {
+		t.Fatal("budgeted solve lost its improvement stats")
+	}
+	if improved.Weight > plain.Weight {
+		t.Fatalf("improved weight %v above plain %v", improved.Weight, plain.Weight)
+	}
+	if improved.Bound != plain.Bound {
+		t.Fatalf("improvement moved the bound: %v vs %v", improved.Bound, plain.Bound)
+	}
+	// Exact repeats (either flavor) are cache hits.
+	for _, budget := range []int64{0, 5000} {
+		req, err := e.Submit(SolveParams{GraphHash: hash, Algorithm: "test-gated", Seed: 5, ImproveBudgetMS: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := req.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if !req.IsCached() {
+			t.Fatalf("repeat with budget=%dms missed the cache", budget)
+		}
+	}
+	m := e.Metrics()
+	if m.CacheHits != 2 || m.SolveCount != 2 {
+		t.Fatalf("cache hits %d / solves %d, want 2/2", m.CacheHits, m.SolveCount)
+	}
+	if m.ImproveCount != 1 {
+		t.Fatalf("improve count %d, want exactly the one budgeted solve", m.ImproveCount)
+	}
+	if m.ImproveSteps <= 0 || m.ImproveWeightRemoved <= 0 {
+		t.Fatalf("improve metrics not threaded: %+v", m)
+	}
+	var b strings.Builder
+	if err := WriteMetrics(&b, m); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mwvc_improve_total 1", "mwvc_improve_steps_total", "mwvc_improve_weight_removed_total"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("Prometheus exposition lacks %s:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestImproveBudgetClamped(t *testing.T) {
+	// Negative budgets normalize to 0 (the same cache entry as "off");
+	// budgets above MaxTimeout clamp to it so a request cannot buy more
+	// improvement wall-clock than the engine allows a whole solve.
+	e := newTestEngine(t, Config{Workers: 1, QueueDepth: 8, MaxTimeout: time.Second})
+	hash := addGraph(t, e, testGraph(t, 4, 40, 3))
+	req, err := e.Submit(SolveParams{GraphHash: hash, Algorithm: "greedy", ImproveBudgetMS: -7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Params.ImproveBudgetMS != 0 {
+		t.Fatalf("negative budget kept: %d", req.Params.ImproveBudgetMS)
+	}
+	if err := req.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	req2, err := e.Submit(SolveParams{GraphHash: hash, Algorithm: "greedy", ImproveBudgetMS: 3_600_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req2.Params.ImproveBudgetMS != 1000 {
+		t.Fatalf("oversized budget not clamped to MaxTimeout: %d", req2.Params.ImproveBudgetMS)
+	}
+	if err := req2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The normalized (not the raw) value is the cache key: a repeat with a
+	// different oversized budget that clamps to the same value must hit.
+	req3, err := e.Submit(SolveParams{GraphHash: hash, Algorithm: "greedy", ImproveBudgetMS: 7_200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := req3.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !req3.IsCached() {
+		t.Fatal("clamp-equivalent budget missed the cache")
+	}
+}

@@ -27,6 +27,18 @@ const (
 	// the kernel edge count in ActiveEdges. Subsequent solve events refer to
 	// the kernel instance.
 	KindReduceEnd
+	// KindImproveStart fires when the pipeline's anytime improvement stage
+	// begins, carrying the cover weight entering the stage in Weight (on the
+	// solved instance — the kernel when reduction ran).
+	KindImproveStart
+	// KindImproveStep fires after every accepted improvement move, carrying
+	// the 1-based accepted-move count in Round and the cover weight after
+	// the move in Weight. The stream is strictly decreasing in Weight.
+	KindImproveStep
+	// KindImproveEnd fires when the improvement stage completes (converged,
+	// budget expired, or cancelled), carrying the final cover weight in
+	// Weight and the total accepted-move count in Round.
+	KindImproveEnd
 )
 
 // String returns the kind's wire name (used by CLI traces and the solve
@@ -45,6 +57,12 @@ func (k EventKind) String() string {
 		return "reduce-start"
 	case KindReduceEnd:
 		return "reduce-end"
+	case KindImproveStart:
+		return "improve-start"
+	case KindImproveStep:
+		return "improve-step"
+	case KindImproveEnd:
+		return "improve-end"
 	default:
 		return "unknown"
 	}
@@ -75,6 +93,9 @@ type Event struct {
 	// KindFinalPhase.
 	Machines   int
 	Iterations int
+	// Weight is the current cover weight for the improvement-stage events
+	// (KindImproveStart/Step/End); 0 elsewhere.
+	Weight float64
 }
 
 // Observer receives solve-progress events. Implementations must be fast and

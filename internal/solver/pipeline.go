@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/improve"
 	"repro/internal/reduce"
 	"repro/internal/verify"
 )
@@ -36,13 +37,18 @@ type Result struct {
 	// Reduction carries the kernelization stats, nil when the pipeline ran
 	// without reduction.
 	Reduction *reduce.Stats
+	// Improvement carries the anytime local-search stats, nil when the
+	// pipeline ran without an improvement budget (or the stage was skipped
+	// because the solve was already exact).
+	Improvement *improve.Stats
 }
 
 // Pipeline stages one solve: Reduce (optional kernelization) → Solve on the
-// kernel through a registered solver → Lift the kernel cover and duals back
-// to the original graph → Verify cover and certificate on the original.
-// With Reduce false the pipeline is exactly the pre-kernelization solve
-// path, bit for bit.
+// kernel through a registered solver → Improve (optional anytime local
+// search on the kernel cover, under Config.ImproveBudget) → Lift the kernel
+// cover and duals back to the original graph → Verify cover and certificate
+// on the original. With Reduce false and ImproveBudget zero the pipeline is
+// exactly the pre-kernelization solve path, bit for bit.
 type Pipeline struct {
 	// Solver executes the (possibly kernelized) instance.
 	Solver Solver
@@ -50,7 +56,8 @@ type Pipeline struct {
 	Reduce bool
 	// Config is passed through to the solver. Its Observer additionally
 	// receives KindReduceStart/KindReduceEnd events around the
-	// kernelization stage.
+	// kernelization stage and KindImproveStart/Step/End events from the
+	// improvement stage; its ImproveBudget enables that stage.
 	Config Config
 }
 
@@ -94,6 +101,30 @@ func (p Pipeline) Run(ctx context.Context, g *graph.Graph) (*Result, error) {
 		}
 	}
 
+	var imp *improve.Stats
+	if p.Config.ImproveBudget > 0 && !out.Exact {
+		// Improve operates on the solved instance (the kernel when reduction
+		// ran) so lifting happens exactly once, after the stage. The dual
+		// certificate is deliberately untouched: the primal can only
+		// decrease against the fixed bound, so CertifiedRatio only tightens.
+		obs := p.Config.Observer
+		Emit(obs, Event{Kind: KindImproveStart, Phase: -1,
+			ActiveEdges: int64(work.NumEdges()), Weight: verify.CoverWeight(work, out.Cover)})
+		improved, st, err := improve.Run(ctx, work, out.Cover, improve.Options{
+			Budget: p.Config.ImproveBudget,
+			Seed:   p.Config.Seed,
+			OnStep: func(step int, weight float64) {
+				Emit(obs, Event{Kind: KindImproveStep, Phase: -1, Round: step, Weight: weight})
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("solver: internal error: improvement rejected solver cover: %w", err)
+		}
+		Emit(obs, Event{Kind: KindImproveEnd, Phase: -1, Round: st.Steps,
+			ActiveEdges: int64(work.NumEdges()), Weight: st.WeightAfter})
+		out.Cover, imp = improved, st
+	}
+
 	cover, duals, forced := out.Cover, out.Duals, 0.0
 	if tr != nil {
 		cover, forced = tr.Lift(out.Cover)
@@ -102,7 +133,12 @@ func (p Pipeline) Run(ctx context.Context, g *graph.Graph) (*Result, error) {
 		}
 	}
 	out.Reduction = stats
-	return verifyStage(g, cover, duals, forced, out)
+	res, err := verifyStage(g, cover, duals, forced, out)
+	if err != nil {
+		return nil, err
+	}
+	res.Improvement = imp
+	return res, nil
 }
 
 // verifyStage checks the (lifted) cover against the original graph, checks

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/verify"
@@ -172,5 +173,141 @@ func TestPipelinePreCancelled(t *testing.T) {
 	}
 	if rec.calls != 0 {
 		t.Fatal("solver ran despite pre-cancelled context")
+	}
+}
+
+// irreduciblePlusSlack builds an instance whose kernel is nontrivial and
+// whose all-vertices solver cover leaves the improvement stage real work:
+// an irreducible 5-cycle (increasing weights) — the rules keep it intact.
+func irreducibleCycle(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(5)
+	for i := 0; i < 5; i++ {
+		b.SetWeight(graph.Vertex(i), float64(2+i))
+		b.AddEdge(graph.Vertex(i), graph.Vertex((i+1)%5))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestPipelineImproveStage: with a budget set, the improvement stage runs on
+// the kernel, the lifted cover weight drops below the unimproved solve, the
+// dual-free result stays verified, and the event stream brackets strictly
+// decreasing improve-step weights.
+func TestPipelineImproveStage(t *testing.T) {
+	g := irreducibleCycle(t)
+	base, err := Pipeline{Solver: &recordingSolver{}, Reduce: true}.Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var events []Event
+	cfg := Config{
+		ImproveBudget: time.Minute,
+		Observer:      ObserverFunc(func(e Event) { events = append(events, e) }),
+	}
+	res, err := Pipeline{Solver: &recordingSolver{}, Reduce: true, Config: cfg}.Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := verify.IsCover(g, res.Cover); !ok {
+		t.Fatal("improved lifted cover invalid on the original")
+	}
+	if res.Weight >= base.Weight {
+		t.Fatalf("improvement did not reduce the all-vertices cover: %v >= %v", res.Weight, base.Weight)
+	}
+	if math.Float64bits(res.Bound) != math.Float64bits(base.Bound) {
+		t.Fatalf("improvement moved the dual bound: %v vs %v", res.Bound, base.Bound)
+	}
+	if res.Improvement == nil || res.Improvement.Steps == 0 {
+		t.Fatalf("improvement stats missing: %+v", res.Improvement)
+	}
+	if res.Improvement.WeightAfter >= res.Improvement.WeightBefore {
+		t.Fatalf("stats claim no improvement: %+v", res.Improvement)
+	}
+
+	// Event stream: reduce-start, reduce-end, improve-start, steps..., improve-end.
+	var improveKinds []EventKind
+	var stepWeights []float64
+	for _, e := range events {
+		switch e.Kind {
+		case KindImproveStart, KindImproveStep, KindImproveEnd:
+			improveKinds = append(improveKinds, e.Kind)
+			if e.Kind == KindImproveStep {
+				stepWeights = append(stepWeights, e.Weight)
+			}
+		}
+	}
+	if len(improveKinds) < 3 || improveKinds[0] != KindImproveStart ||
+		improveKinds[len(improveKinds)-1] != KindImproveEnd {
+		t.Fatalf("improve event bracket wrong: %v", improveKinds)
+	}
+	if len(stepWeights) != res.Improvement.Steps {
+		t.Fatalf("%d step events, stats say %d steps", len(stepWeights), res.Improvement.Steps)
+	}
+	for i := 1; i < len(stepWeights); i++ {
+		if stepWeights[i] >= stepWeights[i-1] {
+			t.Fatalf("step weights not strictly decreasing: %v", stepWeights)
+		}
+	}
+	if last := events[len(events)-1]; last.Kind != KindImproveEnd ||
+		math.Float64bits(last.Weight) != math.Float64bits(res.Improvement.WeightAfter) {
+		t.Fatalf("improve-end weight %v, want %v", last.Weight, res.Improvement.WeightAfter)
+	}
+}
+
+// TestPipelineImproveSkipsExact: an exact outcome bypasses the improvement
+// stage entirely — no events, no stats.
+func TestPipelineImproveSkipsExact(t *testing.T) {
+	g := pendantStar(t, 10) // fully reduced: empty kernel, Exact outcome
+	var sawImprove bool
+	cfg := Config{
+		ImproveBudget: time.Minute,
+		Observer: ObserverFunc(func(e Event) {
+			switch e.Kind {
+			case KindImproveStart, KindImproveStep, KindImproveEnd:
+				sawImprove = true
+			}
+		}),
+	}
+	rec := &recordingSolver{}
+	res, err := Pipeline{Solver: rec, Reduce: true, Config: cfg}.Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatal("star did not reduce to an exact result")
+	}
+	if sawImprove || res.Improvement != nil {
+		t.Fatal("improvement stage ran on an exact result")
+	}
+}
+
+// TestPipelineZeroBudgetIdentical: ImproveBudget zero is the PR 5 pipeline,
+// bit for bit — no stats, no events, same floats.
+func TestPipelineZeroBudgetIdentical(t *testing.T) {
+	g := irreducibleCycle(t)
+	want, err := Pipeline{Solver: &recordingSolver{}, Reduce: true}.Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Pipeline{Solver: &recordingSolver{}, Reduce: true, Config: Config{ImproveBudget: 0}}.Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Improvement != nil {
+		t.Fatal("zero budget attached improvement stats")
+	}
+	if math.Float64bits(got.Weight) != math.Float64bits(want.Weight) ||
+		math.Float64bits(got.Bound) != math.Float64bits(want.Bound) {
+		t.Fatal("zero budget changed the result")
+	}
+	for v := range want.Cover {
+		if got.Cover[v] != want.Cover[v] {
+			t.Fatalf("cover bit %d differs", v)
+		}
 	}
 }

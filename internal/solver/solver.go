@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/reduce"
@@ -34,6 +35,12 @@ type Config struct {
 	PaperConstants bool
 	// Observer, when non-nil, receives solve-progress events (see Event).
 	Observer Observer
+	// ImproveBudget, when positive, enables the pipeline's anytime
+	// local-search improvement stage (internal/improve) with that wall-clock
+	// budget. Zero (the default) skips the stage entirely, keeping results
+	// bit-for-bit identical to the pre-improvement pipeline. Solvers ignore
+	// this field; only the Pipeline reads it.
+	ImproveBudget time.Duration
 }
 
 // Outcome is what a Solver returns: the raw cover plus whatever certificate

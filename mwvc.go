@@ -16,12 +16,15 @@
 // trajectory the paper is about is exposed as a first-class event stream, not
 // just two ints after the fact.
 //
-// Every solve stages through a Preprocess→Solve→Lift pipeline: weighted
+// Every solve stages through a Reduce→Solve→Improve→Lift pipeline: weighted
 // kernelization rules (internal/reduce) shrink the instance, the selected
-// algorithm solves the kernel, and the cover and certificate are lifted back
-// to — and verified against — the original graph with exact weight
-// accounting. Reduction defaults to on; see WithoutReduction and
-// Solution.Reduction.
+// algorithm solves the kernel, an optional anytime local-search stage
+// (internal/improve, enabled by WithImprovement) monotonically reduces the
+// cover weight under a wall-clock budget, and the cover and certificate are
+// lifted back to — and verified against — the original graph with exact
+// weight accounting. Reduction defaults to on (see WithoutReduction and
+// Solution.Reduction); improvement defaults to off so results stay
+// bit-for-bit reproducible (see WithImprovement and Solution.Improvement).
 //
 // Every algorithm registers itself with internal/solver from its own
 // package; the Algorithms list, the Solve dispatch, and the CLI -algo flag
@@ -38,9 +41,11 @@ import (
 	"io"
 	"math"
 	"strings"
+	"time"
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/improve"
 	"repro/internal/reduce"
 	"repro/internal/solver"
 
@@ -167,12 +172,15 @@ type EventKind = solver.EventKind
 
 // Re-exported event kinds; see internal/solver for the per-kind contract.
 const (
-	KindPhaseStart  = solver.KindPhaseStart
-	KindRound       = solver.KindRound
-	KindPhaseEnd    = solver.KindPhaseEnd
-	KindFinalPhase  = solver.KindFinalPhase
-	KindReduceStart = solver.KindReduceStart
-	KindReduceEnd   = solver.KindReduceEnd
+	KindPhaseStart   = solver.KindPhaseStart
+	KindRound        = solver.KindRound
+	KindPhaseEnd     = solver.KindPhaseEnd
+	KindFinalPhase   = solver.KindFinalPhase
+	KindReduceStart  = solver.KindReduceStart
+	KindReduceEnd    = solver.KindReduceEnd
+	KindImproveStart = solver.KindImproveStart
+	KindImproveStep  = solver.KindImproveStep
+	KindImproveEnd   = solver.KindImproveEnd
 )
 
 // MultiObserver fans events out to several observers in order, skipping nils.
@@ -240,6 +248,33 @@ func WithoutReduction() Option {
 	return func(s *settings) { s.reduce = false }
 }
 
+// WithImprovement enables the anytime local-search improvement stage
+// (internal/improve) with the given wall-clock budget: after the selected
+// algorithm solves (the kernel of) the instance, redundant-vertex removal
+// and weighted two-improvement swaps monotonically reduce the cover weight
+// until the budget expires, the context is cancelled, or a local optimum is
+// certified. The dual certificate is untouched, so Bound is bitwise
+// identical with or without improvement and CertifiedRatio can only
+// tighten. Budget expiry and cancellation are not errors — the stage
+// returns the best cover reached, always valid and never heavier.
+// Exact solves skip the stage (there is nothing to improve).
+// A zero or negative budget is WithoutImprovement.
+func WithImprovement(budget time.Duration) Option {
+	return func(s *settings) {
+		if budget < 0 {
+			budget = 0
+		}
+		s.cfg.ImproveBudget = budget
+	}
+}
+
+// WithoutImprovement skips the improvement stage (the default): solve
+// results are bit-for-bit identical to the pre-improvement pipeline, and
+// Solution.Improvement is nil.
+func WithoutImprovement() Option {
+	return func(s *settings) { s.cfg.ImproveBudget = 0 }
+}
+
 // Solution is the outcome of Solve, with a self-contained quality
 // certificate whenever the algorithm provides one.
 type Solution struct {
@@ -271,24 +306,35 @@ type Solution struct {
 	// before and after, per-rule counts, forced weight, reduce time. It is
 	// nil when the solve ran WithoutReduction.
 	Reduction *ReductionStats
+	// Improvement reports what the anytime improvement stage did — weights
+	// before/after on the solved instance, move counts, time to first
+	// improvement. It is nil unless the solve ran WithImprovement (and the
+	// result was not already exact).
+	Improvement *ImprovementStats
 }
 
 // ReductionStats is the kernelization accounting attached to a Solution;
 // see internal/reduce for the field-by-field contract.
 type ReductionStats = reduce.Stats
 
+// ImprovementStats is the anytime-improvement accounting attached to a
+// Solution; see internal/improve for the field-by-field contract. Its
+// weights refer to the solved instance (the kernel when reduction ran).
+type ImprovementStats = improve.Stats
+
 // solutionJSON is the wire form of Solution. CertifiedRatio is a pointer
 // because encoding/json rejects non-finite floats: the +Inf "no guarantee
 // claimed" convention is carried as null on the wire.
 type solutionJSON struct {
-	Cover          []bool          `json:"cover,omitempty"`
-	Weight         float64         `json:"weight"`
-	Bound          float64         `json:"bound"`
-	CertifiedRatio *float64        `json:"certified_ratio"`
-	Rounds         int             `json:"rounds,omitempty"`
-	Phases         int             `json:"phases,omitempty"`
-	Exact          bool            `json:"exact,omitempty"`
-	Reduction      *ReductionStats `json:"reduction,omitempty"`
+	Cover          []bool            `json:"cover,omitempty"`
+	Weight         float64           `json:"weight"`
+	Bound          float64           `json:"bound"`
+	CertifiedRatio *float64          `json:"certified_ratio"`
+	Rounds         int               `json:"rounds,omitempty"`
+	Phases         int               `json:"phases,omitempty"`
+	Exact          bool              `json:"exact,omitempty"`
+	Reduction      *ReductionStats   `json:"reduction,omitempty"`
+	Improvement    *ImprovementStats `json:"improvement,omitempty"`
 }
 
 // MarshalJSON encodes the solution for service responses and benchmark
@@ -297,13 +343,14 @@ type solutionJSON struct {
 // it is mapped to a null certified_ratio; every other field encodes as-is.
 func (s Solution) MarshalJSON() ([]byte, error) {
 	out := solutionJSON{
-		Cover:     s.Cover,
-		Weight:    s.Weight,
-		Bound:     s.Bound,
-		Rounds:    s.Rounds,
-		Phases:    s.Phases,
-		Exact:     s.Exact,
-		Reduction: s.Reduction,
+		Cover:       s.Cover,
+		Weight:      s.Weight,
+		Bound:       s.Bound,
+		Rounds:      s.Rounds,
+		Phases:      s.Phases,
+		Exact:       s.Exact,
+		Reduction:   s.Reduction,
+		Improvement: s.Improvement,
 	}
 	if !math.IsInf(s.CertifiedRatio, 0) && !math.IsNaN(s.CertifiedRatio) {
 		r := s.CertifiedRatio
@@ -321,13 +368,14 @@ func (s *Solution) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	*s = Solution{
-		Cover:     in.Cover,
-		Weight:    in.Weight,
-		Bound:     in.Bound,
-		Rounds:    in.Rounds,
-		Phases:    in.Phases,
-		Exact:     in.Exact,
-		Reduction: in.Reduction,
+		Cover:       in.Cover,
+		Weight:      in.Weight,
+		Bound:       in.Bound,
+		Rounds:      in.Rounds,
+		Phases:      in.Phases,
+		Exact:       in.Exact,
+		Reduction:   in.Reduction,
+		Improvement: in.Improvement,
 	}
 	if in.CertifiedRatio != nil {
 		s.CertifiedRatio = *in.CertifiedRatio
@@ -387,5 +435,6 @@ func Solve(ctx context.Context, g *Graph, opts ...Option) (*Solution, error) {
 		Phases:         res.Phases,
 		Exact:          res.Exact,
 		Reduction:      res.Reduction,
+		Improvement:    res.Improvement,
 	}, nil
 }
