@@ -6,7 +6,8 @@
 //     *.md files must point at an existing file (anchors and external
 //     URLs are not checked).
 //  2. Doc-comment coverage: the documented packages (internal/graph,
-//     internal/mpc, internal/reduce, internal/solver, internal/serve) must
+//     internal/mpc, internal/reduce, internal/solver, internal/serve,
+//     internal/fault) must
 //     have a package comment and a doc comment on every exported top-level
 //     identifier,
 //     so their `go doc` output stays useful.
@@ -37,6 +38,7 @@ var docPackages = []string{
 	"internal/improve",
 	"internal/solver",
 	"internal/serve",
+	"internal/fault",
 }
 
 func main() {

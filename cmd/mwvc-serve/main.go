@@ -10,7 +10,13 @@
 //	GET  /v1/solve/{id}        status / result of a request
 //	GET  /v1/solve/{id}/trace  live round-by-round solve events (SSE)
 //	GET  /metrics              Prometheus text metrics
-//	GET  /healthz              liveness
+//	GET  /healthz              readiness (503 once shutdown drain begins)
+//
+// With -data-dir the graph store is durable: uploads are fsynced to disk
+// before they are acknowledged, and a restart recovers every acknowledged
+// graph. With -degrade the engine downgrades eligible requests to the cheap
+// fallback solver when the queue passes the overload threshold, instead of
+// making them wait full-cost or 429ing outright.
 //
 // A quick session against a running server:
 //
@@ -43,20 +49,33 @@ func main() {
 		defTimeout  = flag.Duration("default-timeout", 60*time.Second, "deadline for requests that specify none")
 		maxTimeout  = flag.Duration("max-timeout", 10*time.Minute, "cap on per-request deadlines")
 		maxGraphs   = flag.Int("max-graphs", 0, "graph store cap (0 = 1024)")
+		dataDir     = flag.String("data-dir", "", "durable graph store directory (empty = in-memory only)")
+		degrade     = flag.Bool("degrade", false, "downgrade eligible requests to the cheap fallback solver under overload")
 	)
 	flag.Parse()
 
-	engine := serve.NewEngine(serve.Config{
+	engine, err := serve.NewEngine(serve.Config{
 		Workers:           *workers,
 		QueueDepth:        *queue,
 		SolverParallelism: *parallelism,
 		DefaultTimeout:    *defTimeout,
 		MaxTimeout:        *maxTimeout,
 		MaxGraphs:         *maxGraphs,
+		DataDir:           *dataDir,
+		DegradeEnabled:    *degrade,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mwvc-serve:", err)
+		os.Exit(1)
+	}
 	cfg := engine.Config()
 	log.Printf("mwvc-serve listening on %s (workers=%d queue=%d solver-parallelism=%d)",
 		*addr, cfg.Workers, cfg.QueueDepth, cfg.SolverParallelism)
+	if *dataDir != "" {
+		rec := engine.Graphs().Recovery()
+		log.Printf("durable store %s: recovered %d graph(s), quarantined %d, removed %d temp(s)",
+			*dataDir, rec.Recovered, rec.Quarantined, rec.TempsRemoved)
+	}
 	log.Printf("algorithms: %v", mwvc.Algorithms())
 
 	srv := &http.Server{
@@ -73,6 +92,9 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Print("shutting down")
+		// Drain first: /healthz flips to 503 and new Submits are refused with
+		// Retry-After while queued and in-flight solves run to completion.
+		engine.StartDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.MaxTimeout)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

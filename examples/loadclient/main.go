@@ -1,7 +1,9 @@
 // Load-driving client for mwvc-serve: uploads a couple of generated graphs
 // once (content addressing makes re-uploads free), then fires a burst of
-// concurrent solve requests across algorithms and seeds, retrying on 429
-// backpressure, and reports latency, cache-hit and error statistics.
+// concurrent solve requests across algorithms and seeds, retrying 429
+// backpressure and 503 transients with jittered exponential backoff (any
+// Retry-After the server sends is honored as the floor), and reports
+// latency, cache-hit, degraded-response and error statistics.
 //
 // Run the server, then the client:
 //
@@ -21,9 +23,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,8 +45,22 @@ type solveResponse struct {
 	ID       string         `json:"id"`
 	Status   string         `json:"status"`
 	Cached   bool           `json:"cached"`
+	Degraded bool           `json:"degraded"`
 	Solution *mwvc.Solution `json:"solution"`
 	Error    string         `json:"error"`
+}
+
+// retryDelay computes the next backoff sleep: the current exponential step
+// with half-to-full jitter (decorrelating the herd a burst of 429s creates),
+// floored at whatever Retry-After the server sent.
+func retryDelay(backoff time.Duration, retryAfter string) time.Duration {
+	delay := backoff/2 + time.Duration(rand.Int64N(int64(backoff/2)+1))
+	if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+		if floor := time.Duration(secs) * time.Second; delay < floor {
+			delay = floor
+		}
+	}
+	return delay
 }
 
 func main() {
@@ -90,6 +108,7 @@ func main() {
 		byClass  = map[string][]time.Duration{}
 		improved []float64 // weight reduction percent per deadline request
 		cached   atomic.Int64
+		degraded atomic.Int64
 		retries  atomic.Int64
 		failures atomic.Int64
 	)
@@ -121,6 +140,8 @@ func main() {
 			}
 			body, _ := json.Marshal(payload)
 			t0 := time.Now()
+			backoff := 50 * time.Millisecond
+			const maxBackoff = 2 * time.Second
 			for {
 				resp, err := client.Post(*addr+"/v1/solve", "application/json", bytes.NewReader(body))
 				if err != nil {
@@ -128,12 +149,17 @@ func main() {
 					fmt.Fprintf(os.Stderr, "request %d: %v\n", i, err)
 					return
 				}
-				if resp.StatusCode == http.StatusTooManyRequests {
-					// Backpressure: the queue is full. Back off and retry.
+				if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+					// 429 backpressure or a 503 transient (drain, injected
+					// fault): back off exponentially with jitter and retry.
+					ra := resp.Header.Get("Retry-After")
 					io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
 					retries.Add(1)
-					time.Sleep(50 * time.Millisecond)
+					time.Sleep(retryDelay(backoff, ra))
+					if backoff *= 2; backoff > maxBackoff {
+						backoff = maxBackoff
+					}
 					continue
 				}
 				var sr solveResponse
@@ -149,6 +175,9 @@ func main() {
 				}
 				if sr.Cached {
 					cached.Add(1)
+				}
+				if sr.Degraded {
+					degraded.Add(1)
 				}
 				mu.Lock()
 				byClass[class] = append(byClass[class], time.Since(t0))
@@ -174,9 +203,9 @@ func main() {
 		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
 		ok += len(ls)
 	}
-	fmt.Printf("\n%d requests in %v (%.0f req/s): %d ok, %d failed, %d cache hits, %d backpressure retries\n",
+	fmt.Printf("\n%d requests in %v (%.0f req/s): %d ok, %d failed, %d cache hits, %d degraded, %d backoff retries\n",
 		*requests, elapsed.Round(time.Millisecond), float64(ok)/elapsed.Seconds(),
-		ok, failures.Load(), cached.Load(), retries.Load())
+		ok, failures.Load(), cached.Load(), degraded.Load(), retries.Load())
 	for _, class := range []string{"plain", "deadline"} {
 		ls := byClass[class]
 		if len(ls) == 0 {

@@ -1,0 +1,267 @@
+// Package fault provides deterministic fault injection for robustness
+// testing. Production code marks interesting failure sites with named
+// injection points (fault.Hit); a test arms an Injector — a seeded schedule
+// of rules — and every hit on an armed point may trip an error, a latency
+// stall, or a panic. With no injector enabled, Hit is a single atomic load
+// returning nil, so the points cost nothing in production.
+//
+// Determinism: each rule's trip decision for the kth hit of a point is a
+// pure function of (schedule seed, point name, k). Replaying a workload
+// against the same seed trips the same hits, whatever the goroutine
+// interleaving — the per-point decision sequence is bit-deterministic,
+// which is what lets the chaos suite in internal/serve replay failures.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Point names one injection site in production code. Points are arranged by
+// subsystem: the serve tier's durable store, worker pool, solver observer
+// path, and HTTP response encoder.
+type Point string
+
+// The registered injection points. A Hit on a point not named in the active
+// injector's rules is a no-op.
+const (
+	// StoreWrite fires inside GraphStore's durable Add, before the graph
+	// bytes are written and fsynced to the temp file.
+	StoreWrite Point = "store.write"
+	// StoreRead fires when the store loads a graph file from disk (the
+	// startup recovery scan).
+	StoreRead Point = "store.read"
+	// StoreRename fires after the temp file is durable, before the atomic
+	// rename publishes it — the window a crash leaves an orphaned temp.
+	StoreRename Point = "store.rename"
+	// WorkerDequeue fires when a serve worker picks a request off the queue,
+	// before any solve work starts.
+	WorkerDequeue Point = "worker.dequeue"
+	// SolverStep fires on every observer event inside a running solve. Error
+	// rules at this point surface as panics (the observer callback has no
+	// error channel), exercising the engine's per-solve panic isolation.
+	SolverStep Point = "solver.step"
+	// ResponseEncode fires before an HTTP response body is encoded; a trip
+	// replaces the payload with a clean, typed retryable error — never a
+	// torn body.
+	ResponseEncode Point = "response.encode"
+)
+
+// Points returns every named injection point, for schedules that arm
+// "everything".
+func Points() []Point {
+	return []Point{StoreWrite, StoreRead, StoreRename, WorkerDequeue, SolverStep, ResponseEncode}
+}
+
+// ErrInjected is the base error returned by tripped ActError rules; callers
+// classify injected failures with errors.Is.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Action selects what a tripped rule does to the hitting goroutine.
+type Action uint8
+
+// The rule actions.
+const (
+	// ActError makes Hit return an error wrapping ErrInjected.
+	ActError Action = iota
+	// ActDelay makes Hit sleep for Rule.Delay and then proceed normally
+	// (Hit returns nil unless another rule also trips).
+	ActDelay
+	// ActPanic makes Hit panic with a message naming the point and hit
+	// index.
+	ActPanic
+)
+
+// Rule arms one injection point with one behavior. Trigger selection is
+// either counting (Every) or probabilistic (Prob); After and Limit bound
+// the trips on both.
+type Rule struct {
+	// Point is the injection site this rule arms.
+	Point Point
+	// Action is what a trip does (error, delay, panic).
+	Action Action
+	// Prob trips the rule on each hit with this probability, decided by a
+	// PRNG keyed on (seed, point, hit index): the kth hit of a point always
+	// gets the same decision for a given seed. Ignored when Every is set.
+	Prob float64
+	// Every trips on every Every-th hit past After (1 = every hit). When
+	// nonzero it takes precedence over Prob.
+	Every int
+	// After skips the first After hits of the point entirely.
+	After int
+	// Limit caps the total trips of this rule (0 = unlimited).
+	Limit int
+	// Delay is the stall duration for ActDelay rules.
+	Delay time.Duration
+	// Err overrides the error returned by ActError trips; nil means a
+	// wrapped ErrInjected naming the point.
+	Err error
+}
+
+// armedRule is a Rule plus its mutable trip counter.
+type armedRule struct {
+	Rule
+	tripped atomic.Int64
+}
+
+// pointState tracks one point's hit counter and the rules armed on it.
+type pointState struct {
+	hits  atomic.Int64
+	rules []*armedRule
+}
+
+// Injector evaluates a seeded schedule of rules. Arm it process-wide with
+// Enable; observe it with Hits and Trips. All methods are safe for
+// concurrent use.
+type Injector struct {
+	seed   uint64
+	points map[Point]*pointState
+}
+
+// NewInjector builds an injector evaluating rules under the given schedule
+// seed. The seed only matters to probabilistic (Prob) rules.
+func NewInjector(seed uint64, rules ...Rule) *Injector {
+	in := &Injector{seed: seed, points: make(map[Point]*pointState)}
+	for _, r := range rules {
+		st := in.points[r.Point]
+		if st == nil {
+			st = &pointState{}
+			in.points[r.Point] = st
+		}
+		st.rules = append(st.rules, &armedRule{Rule: r})
+	}
+	return in
+}
+
+// Hits returns how many times the point has been hit while this injector
+// was active.
+func (in *Injector) Hits(p Point) int64 {
+	if st := in.points[p]; st != nil {
+		return st.hits.Load()
+	}
+	return 0
+}
+
+// Trips returns how many times any rule on the point has tripped.
+func (in *Injector) Trips(p Point) int64 {
+	var n int64
+	if st := in.points[p]; st != nil {
+		for _, r := range st.rules {
+			t := r.tripped.Load()
+			if r.Limit > 0 && t > int64(r.Limit) {
+				t = int64(r.Limit) // over-count from concurrent limit races
+			}
+			n += t
+		}
+	}
+	return n
+}
+
+// active is the process-wide injector; nil (the common case) makes Hit a
+// single atomic load.
+var active atomic.Pointer[Injector]
+
+// Enable installs in as the process-wide injector and returns a restore
+// function reinstating whatever was active before. Tests that enable
+// injection must not run in parallel with each other.
+func Enable(in *Injector) (restore func()) {
+	prev := active.Swap(in)
+	return func() { active.Store(prev) }
+}
+
+// Disable removes any active injector.
+func Disable() { active.Store(nil) }
+
+// Enabled reports whether an injector is active.
+func Enabled() bool { return active.Load() != nil }
+
+// Hit marks one pass through the named injection point. With no active
+// injector it returns nil after a single atomic load. Otherwise the point's
+// hit counter advances and each armed rule may stall the caller (ActDelay),
+// panic (ActPanic), or make Hit return an injected error (ActError).
+func Hit(p Point) error {
+	in := active.Load()
+	if in == nil {
+		return nil
+	}
+	return in.hit(p)
+}
+
+func (in *Injector) hit(p Point) error {
+	st := in.points[p]
+	if st == nil {
+		return nil
+	}
+	n := st.hits.Add(1) // 1-based hit index
+	for _, r := range st.rules {
+		if !r.shouldTrip(in.seed, n) {
+			continue
+		}
+		switch r.Action {
+		case ActDelay:
+			time.Sleep(r.Delay)
+		case ActPanic:
+			panic(fmt.Sprintf("fault: injected panic at %s (hit %d)", p, n))
+		default:
+			if r.Err != nil {
+				return r.Err
+			}
+			return fmt.Errorf("%w at %s (hit %d)", ErrInjected, p, n)
+		}
+	}
+	return nil
+}
+
+// shouldTrip decides — deterministically in (seed, point, n) — whether the
+// rule trips on the point's nth hit, and accounts the trip against Limit.
+func (r *armedRule) shouldTrip(seed uint64, n int64) bool {
+	if n <= int64(r.After) {
+		return false
+	}
+	if r.Limit > 0 && r.tripped.Load() >= int64(r.Limit) {
+		return false
+	}
+	var trip bool
+	if r.Every > 0 {
+		trip = (n-int64(r.After))%int64(r.Every) == 0
+	} else {
+		trip = unitFloat(mix(seed, hashPoint(r.Point), uint64(n))) < r.Prob
+	}
+	if !trip {
+		return false
+	}
+	if r.Limit > 0 && r.tripped.Add(1) > int64(r.Limit) {
+		return false // concurrent racers past the cap lose their trip
+	}
+	if r.Limit == 0 {
+		r.tripped.Add(1)
+	}
+	return true
+}
+
+// hashPoint folds the point name into a 64-bit key (FNV-1a).
+func hashPoint(p Point) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(p); i++ {
+		h ^= uint64(p[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix combines the schedule seed, point key and hit index through a
+// splitmix64 finalizer; the result is the rule's per-hit random word.
+func mix(seed, point, n uint64) uint64 {
+	z := seed ^ point ^ (n * 0x9e3779b97f4a7c15)
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// unitFloat maps a random 64-bit word to [0, 1).
+func unitFloat(x uint64) float64 {
+	return float64(x>>11) / (1 << 53)
+}

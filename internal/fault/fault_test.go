@@ -1,0 +1,126 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisabledHitIsNil(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled() true with no injector")
+	}
+	for _, p := range Points() {
+		if err := Hit(p); err != nil {
+			t.Fatalf("Hit(%s) with no injector: %v", p, err)
+		}
+	}
+}
+
+func TestEveryAfterLimit(t *testing.T) {
+	in := NewInjector(0, Rule{Point: StoreWrite, Every: 2, After: 3, Limit: 2})
+	restore := Enable(in)
+	defer restore()
+
+	var errs []int
+	for i := 1; i <= 12; i++ {
+		if err := Hit(StoreWrite); err != nil {
+			errs = append(errs, i)
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: error %v not ErrInjected", i, err)
+			}
+		}
+	}
+	// After=3 skips hits 1-3; Every=2 trips hits 5, 7, ... (offsets 2, 4, …
+	// past After); Limit=2 stops after two trips.
+	want := []int{5, 7}
+	if len(errs) != len(want) || errs[0] != want[0] || errs[1] != want[1] {
+		t.Fatalf("tripped on hits %v, want %v", errs, want)
+	}
+	if in.Hits(StoreWrite) != 12 || in.Trips(StoreWrite) != 2 {
+		t.Fatalf("counters: hits=%d trips=%d, want 12/2", in.Hits(StoreWrite), in.Trips(StoreWrite))
+	}
+}
+
+// TestSeededScheduleDeterministic pins the replay property: the kth hit of a
+// point gets the same trip decision for a given seed, and a different seed
+// gives a different schedule.
+func TestSeededScheduleDeterministic(t *testing.T) {
+	pattern := func(seed uint64) string {
+		in := NewInjector(seed, Rule{Point: WorkerDequeue, Prob: 0.4})
+		restore := Enable(in)
+		defer restore()
+		var b strings.Builder
+		for i := 0; i < 200; i++ {
+			if Hit(WorkerDequeue) != nil {
+				b.WriteByte('x')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		return b.String()
+	}
+	p1a, p1b, p2 := pattern(1), pattern(1), pattern(2)
+	if p1a != p1b {
+		t.Fatalf("same seed, different schedules:\n%s\n%s", p1a, p1b)
+	}
+	if p1a == p2 {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	trips := strings.Count(p1a, "x")
+	if trips < 40 || trips > 160 {
+		t.Fatalf("prob 0.4 tripped %d/200 hits — implausible", trips)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	sentinel := errors.New("disk on fire")
+	restore := Enable(NewInjector(0, Rule{Point: StoreRead, Every: 1, Err: sentinel}))
+	defer restore()
+	if err := Hit(StoreRead); !errors.Is(err, sentinel) {
+		t.Fatalf("custom error not returned: %v", err)
+	}
+}
+
+func TestDelayAction(t *testing.T) {
+	restore := Enable(NewInjector(0, Rule{Point: SolverStep, Every: 1, Action: ActDelay, Delay: 20 * time.Millisecond}))
+	defer restore()
+	start := time.Now()
+	if err := Hit(SolverStep); err != nil {
+		t.Fatalf("delay rule returned error: %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("delay rule stalled only %v", d)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	restore := Enable(NewInjector(0, Rule{Point: ResponseEncode, Every: 1, Action: ActPanic}))
+	defer restore()
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("panic rule did not panic")
+		}
+		if msg, ok := v.(string); !ok || !strings.Contains(msg, string(ResponseEncode)) {
+			t.Fatalf("panic payload %v does not name the point", v)
+		}
+	}()
+	Hit(ResponseEncode)
+}
+
+func TestEnableRestoresPrevious(t *testing.T) {
+	outer := NewInjector(0, Rule{Point: StoreWrite, Every: 1})
+	restoreOuter := Enable(outer)
+	defer restoreOuter()
+	restoreInner := Enable(NewInjector(0)) // no rules: everything passes
+	if err := Hit(StoreWrite); err != nil {
+		t.Fatalf("inner injector has no rules, got %v", err)
+	}
+	restoreInner()
+	if err := Hit(StoreWrite); err == nil {
+		t.Fatal("outer injector not restored")
+	}
+}

@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+// chaosSeeds returns the fault schedules to replay: the fixed CI triple, or
+// a single seed from MWVC_CHAOS_SEED for reproducing one failing schedule
+// locally.
+func chaosSeeds(t *testing.T) []uint64 {
+	if s := os.Getenv("MWVC_CHAOS_SEED"); s != "" {
+		n, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			t.Fatalf("MWVC_CHAOS_SEED=%q: %v", s, err)
+		}
+		return []uint64{n}
+	}
+	return []uint64{1, 7, 42}
+}
+
+// TestChaosServe is the fault-injected acceptance suite: with every injection
+// point armed probabilistically under a fixed seed, a concurrent mix of
+// uploads and solves must end each request in a verified cover or a typed
+// retryable error — valid JSON always, torn bodies and wedged workers never
+// — and once the faults clear, everything acknowledged must still solve.
+func TestChaosServe(t *testing.T) {
+	for _, seed := range chaosSeeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { runChaos(t, seed) })
+	}
+}
+
+func runChaos(t *testing.T, seed uint64) {
+	dir := t.TempDir()
+	e, err := NewEngine(Config{Workers: 4, QueueDepth: 16, SolverParallelism: 1, DataDir: dir, DegradeEnabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(e))
+	defer func() {
+		srv.Close()
+		e.Close()
+	}()
+
+	// Two graphs uploaded fault-free: the known-acknowledged baseline the
+	// storm solves against and the restart check asserts on.
+	graphs := map[string]*graph.Graph{}
+	var hashes []string
+	for _, g := range []*graph.Graph{testGraph(t, 31, 60, 4), testGraph(t, 32, 90, 5)} {
+		resp := uploadGraph(t, srv, g)
+		graphs[resp.Graph] = g
+		hashes = append(hashes, resp.Graph)
+	}
+
+	restore := fault.Enable(fault.NewInjector(seed,
+		fault.Rule{Point: fault.StoreWrite, Prob: 0.5},
+		fault.Rule{Point: fault.StoreRename, Prob: 0.3},
+		fault.Rule{Point: fault.WorkerDequeue, Prob: 0.25},
+		fault.Rule{Point: fault.SolverStep, Prob: 0.01}, // surfaces as a solver panic
+		fault.Rule{Point: fault.ResponseEncode, Prob: 0.15},
+	))
+	defer restore()
+
+	algos := []string{"mpc", "greedy", "centralized"}
+	const clients = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*4)
+	var mu sync.Mutex
+	acked := map[string]bool{} // uploads acknowledged mid-storm: must survive restart
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// One upload attempt per client (new content, exercising the
+			// store's fault points under concurrency)...
+			g := testGraph(t, uint64(1000+i), 30+i, 3)
+			var buf bytes.Buffer
+			if err := graph.Write(&buf, g); err != nil {
+				errs <- err
+				return
+			}
+			resp, err := http.Post(srv.URL+"/v1/graphs", "text/plain", &buf)
+			if err != nil {
+				errs <- err
+				return
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				var gr GraphResponse
+				if err := json.Unmarshal(raw, &gr); err != nil {
+					errs <- fmt.Errorf("client %d: upload 200 with torn body %q: %v", i, raw, err)
+					return
+				}
+				mu.Lock()
+				acked[gr.Graph] = true
+				mu.Unlock()
+			case http.StatusServiceUnavailable:
+				if err := checkTypedError(raw); err != nil {
+					errs <- fmt.Errorf("client %d upload: %v", i, err)
+					return
+				}
+			default:
+				errs <- fmt.Errorf("client %d: upload status %d: %s", i, resp.StatusCode, raw)
+				return
+			}
+			// ...then a few solves against the baseline graphs.
+			for j := 0; j < 3; j++ {
+				hash := hashes[(i+j)%len(hashes)]
+				body, _ := json.Marshal(SolveRequest{
+					Graph:        hash,
+					Algorithm:    algos[(i+j)%len(algos)],
+					Seed:         uint64(i % 4),
+					IncludeCover: true,
+				})
+				resp, err := http.Post(srv.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err := checkChaosSolveResponse(resp, raw, graphs[hash]); err != nil {
+					errs <- fmt.Errorf("client %d solve %d: %v", i, j, err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Faults off: everything acknowledged still solves — the storm corrupted
+	// nothing.
+	restore()
+	for _, hash := range hashes {
+		body, _ := json.Marshal(SolveRequest{Graph: hash, Algorithm: "greedy", IncludeCover: true})
+		resp, err := http.Post(srv.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var sr SolveResponse
+		if resp.StatusCode != http.StatusOK || json.Unmarshal(raw, &sr) != nil || sr.Solution == nil {
+			t.Fatalf("post-storm solve of %s: %d %s", hash, resp.StatusCode, raw)
+		}
+		if ok, witness := verify.IsCover(graphs[hash], sr.Solution.Cover); !ok {
+			t.Fatalf("post-storm cover for %s leaves edge %d uncovered", hash, witness)
+		}
+	}
+
+	// Restart on the same data directory: every acknowledged upload — the
+	// fault-free baseline and every 200 from inside the storm — recovers.
+	srv.Close()
+	e.Close()
+	e2 := newTestEngine(t, Config{Workers: 2, QueueDepth: 8, DataDir: dir})
+	for _, hash := range hashes {
+		if _, ok := e2.Graphs().Get(hash); !ok {
+			t.Fatalf("baseline graph %s lost across restart", hash)
+		}
+	}
+	for hash := range acked {
+		if _, ok := e2.Graphs().Get(hash); !ok {
+			t.Fatalf("storm-acknowledged graph %s lost across restart", hash)
+		}
+	}
+	if rec := e2.Graphs().Recovery(); rec.Quarantined != 0 {
+		t.Fatalf("restart quarantined %d file(s): the storm tore a write", rec.Quarantined)
+	}
+}
+
+// checkTypedError asserts an error response body is clean JSON with a
+// non-empty error field.
+func checkTypedError(raw []byte) error {
+	var er errorResponse
+	if err := json.Unmarshal(raw, &er); err != nil || er.Error == "" {
+		return fmt.Errorf("torn error body %q: %v", raw, err)
+	}
+	return nil
+}
+
+// checkChaosSolveResponse enforces the chaos contract on one solve response:
+// 200 carries a verified cover; 429/503/504 carry a clean typed error;
+// nothing else is acceptable.
+func checkChaosSolveResponse(resp *http.Response, raw []byte, g *graph.Graph) error {
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var sr SolveResponse
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			return fmt.Errorf("200 with torn body %q: %v", raw, err)
+		}
+		if sr.Status != StatusDone || sr.Solution == nil || sr.Solution.Cover == nil {
+			return fmt.Errorf("200 without a solution: %s", raw)
+		}
+		if ok, witness := verify.IsCover(g, sr.Solution.Cover); !ok {
+			return fmt.Errorf("cover leaves edge %d uncovered", witness)
+		}
+		return nil
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") == "" {
+			return fmt.Errorf("503 without Retry-After")
+		}
+		return checkTypedError(raw)
+	default:
+		return fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+}

@@ -21,9 +21,26 @@
 //   - GraphStore (store.go): graphs keyed by "sha256:" of their canonical
 //     serialization (docs/FORMATS.md §content-hash canonicalization), so
 //     repeat uploads and solve requests never re-parse an instance.
+//   - Durable store (diskstore.go): with Config.DataDir, uploads are
+//     fsynced to disk (atomic temp → rename) before they are
+//     acknowledged, and a startup recovery scan rebuilds the index —
+//     verifying every file's content hash, quarantining what fails.
 //   - HTTP layer (http.go): POST /v1/graphs, POST /v1/solve (sync or
 //     async), status polling, SSE traces, Prometheus metrics, health.
 //   - Metrics (metrics.go): counters and gauges in Prometheus text form.
+//
+// # Robustness
+//
+// The request path is fault-isolated: a panic anywhere in one request
+// fails that request with a typed retryable error (ErrRetryable → 503 +
+// Retry-After) and the worker survives. Identical concurrent requests
+// coalesce onto one solver execution (the solution-cache key doubles as
+// the singleflight key). Under queue pressure, Config.DegradeEnabled
+// downgrades eligible requests to the cheapest solver before shedding.
+// StartDrain refuses new work (ErrDraining, /healthz 503) while admitted
+// solves finish. internal/fault names the injection points a chaos suite
+// replays deterministically; DESIGN.md §Fault injection and degradation
+// has the full model.
 //
 // docs/ARCHITECTURE.md walks a request through all of it end to end.
 package serve

@@ -12,6 +12,7 @@ import (
 
 	mwvc "repro"
 	"repro/internal/cli"
+	"repro/internal/fault"
 	"repro/internal/solver"
 )
 
@@ -46,6 +47,24 @@ type Config struct {
 	// RetainRequests bounds how many finished requests stay addressable for
 	// GET /v1/solve/{id} after completion (default 1024, FIFO eviction).
 	RetainRequests int
+	// DataDir, when non-empty, makes the graph store durable: uploads are
+	// fsynced to this directory before they are acknowledged, and a restart
+	// recovers every acknowledged graph (see OpenGraphStore). Empty keeps
+	// the store in-memory only.
+	DataDir string
+	// DegradeEnabled turns on overload-aware degradation: once the queue
+	// passes DegradeThreshold of its depth, eligible new requests are
+	// downgraded to DegradeAlgorithm with a tightened improvement budget
+	// instead of waiting full-cost in a deep queue, and their responses are
+	// marked degraded. Requests already asking for DegradeAlgorithm are not
+	// eligible (there is nothing cheaper to fall back to).
+	DegradeEnabled bool
+	// DegradeAlgorithm is the fallback solver for degraded requests
+	// (default "greedy" — the cheapest registered algorithm).
+	DegradeAlgorithm string
+	// DegradeThreshold is the queue-fullness fraction past which degradation
+	// engages (default 0.75; clamped to (0, 1]).
+	DegradeThreshold float64
 }
 
 func (c Config) withDefaults() Config {
@@ -79,8 +98,20 @@ func (c Config) withDefaults() Config {
 	if c.RetainRequests <= 0 {
 		c.RetainRequests = 1024
 	}
+	if c.DegradeAlgorithm == "" {
+		c.DegradeAlgorithm = "greedy"
+	}
+	if c.DegradeThreshold <= 0 || c.DegradeThreshold > 1 {
+		c.DegradeThreshold = 0.75
+	}
 	return c
 }
+
+// degradedImproveBudgetMS caps the anytime-improvement budget of a degraded
+// request: under overload the engine still honors the anytime contract
+// (some improvement is better than none) but refuses to spend a generous
+// budget per request while a queue is backing up.
+const degradedImproveBudgetMS = 50
 
 // SolveParams identifies one solve: the graph (by content hash) plus the
 // parameters that determine the solver's output. Together with the
@@ -139,19 +170,37 @@ const (
 	StatusFailed Status = "failed"
 )
 
-// Engine errors surfaced by Submit.
+// Engine errors surfaced by Submit and by failing requests.
 var (
 	ErrQueueFull    = errors.New("serve: solve queue full")
 	ErrUnknownGraph = errors.New("serve: unknown graph hash")
 	ErrClosed       = errors.New("serve: engine closed")
+	// ErrDraining rejects new work while the engine drains for shutdown;
+	// in-flight and queued solves still complete. HTTP maps it to 503 with
+	// Retry-After so load balancers route elsewhere.
+	ErrDraining = errors.New("serve: engine draining")
+	// ErrRetryable classifies transient internal failures — an injected or
+	// real fault in the durable store, a recovered solver panic, a tripped
+	// worker — that a client may simply retry. HTTP maps it to 503 with
+	// Retry-After. The wrapped detail never includes partial results: a
+	// request ends in a verified solution or a typed error, nothing between.
+	ErrRetryable = errors.New("serve: transient failure, retry")
 )
 
 // Request is one admitted solve. Its exported methods are safe for
 // concurrent use; the HTTP layer, trace subscribers and the solving worker
 // all hold the same *Request.
 type Request struct {
-	ID     string
+	// ID addresses the request in GET /v1/solve/{id}.
+	ID string
+	// Params are the effective solve parameters. Under degradation they may
+	// differ from what the client asked for (see Degraded).
 	Params SolveParams
+	// Degraded marks a request the overloaded engine downgraded to the
+	// cheap fallback solver; RequestedAlgo preserves the original ask.
+	// Both are immutable after Submit.
+	Degraded      bool
+	RequestedAlgo string
 
 	engine *Engine
 	done   chan struct{}
@@ -160,20 +209,35 @@ type Request struct {
 	// (queuedAt + Params.Timeout); immutable after Submit.
 	deadline time.Time
 
+	// leader, for a coalesced request, is the in-flight twin whose outcome
+	// this request shares; followers (guarded by engine.mu, not r.mu) are
+	// the coalesced requests riding on this one. leader is immutable after
+	// Submit.
+	leader    *Request
+	followers []*Request
+
 	mu        sync.Mutex
+	completed bool // finish ran; all later finishes are no-ops
 	cached    bool
-	status    Status
-	sol       *mwvc.Solution
-	coverSize int
-	err       error
-	errMsg    string
-	rounds    int
-	events    []mwvc.Event
-	dropped   int
-	subs      []chan mwvc.Event
-	queuedAt  time.Time
-	startedAt time.Time
-	doneAt    time.Time
+	coalesced bool
+	// interest counts attached waiters that may still cancel: the submitter
+	// plus one per coalesced follower. When every sync waiter abandons
+	// (client disconnect) it reaches zero and the solve is cancelled.
+	interest    int
+	abandoned   bool
+	cancelSolve context.CancelFunc
+	status      Status
+	sol         *mwvc.Solution
+	coverSize   int
+	err         error
+	errMsg      string
+	rounds      int
+	events      []mwvc.Event
+	dropped     int
+	subs        []chan mwvc.Event
+	queuedAt    time.Time
+	startedAt   time.Time
+	doneAt      time.Time
 }
 
 // Status returns the request's current lifecycle state.
@@ -192,15 +256,55 @@ func (r *Request) IsCached() bool {
 	return r.cached
 }
 
+// IsCoalesced reports that the request was admitted as a follower of an
+// identical in-flight request (same cache key) and shares its outcome
+// instead of occupying a queue slot of its own.
+func (r *Request) IsCoalesced() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.coalesced
+}
+
 // Wait blocks until the request finishes or ctx is done. A ctx error
 // abandons the wait, not the solve: the request keeps running and its
-// result still lands in the cache.
+// result still lands in the cache — unless the caller also signals real
+// client disconnection via Abandon.
 func (r *Request) Wait(ctx context.Context) error {
 	select {
 	case <-r.done:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+}
+
+// Abandon withdraws one waiter's interest in the request — the HTTP layer
+// calls it when a synchronous client disconnects mid-solve. When the last
+// interested waiter abandons (coalesced followers each hold interest in
+// their leader), the solve's context is cancelled so the worker slot stops
+// burning on a request nobody will read; an abandoned request still queued
+// is failed at dequeue without running. Asynchronous submitters never call
+// Abandon, so fire-and-poll requests keep running and caching as before.
+func (r *Request) Abandon() {
+	t := r
+	if r.leader != nil {
+		t = r.leader
+	}
+	t.mu.Lock()
+	if t.completed {
+		t.mu.Unlock()
+		return
+	}
+	t.interest--
+	var cancel context.CancelFunc
+	if t.interest <= 0 {
+		t.abandoned = true
+		cancel = t.cancelSolve
+	}
+	t.mu.Unlock()
+	if cancel != nil {
+		t.engine.met.abandoned.Add(1)
+		cancel()
 	}
 }
 
@@ -256,6 +360,7 @@ func (r *Request) TraceDropped() int {
 type Snapshot struct {
 	Status       Status
 	Cached       bool
+	Coalesced    bool
 	Sol          *mwvc.Solution
 	Err          error
 	ErrMsg       string
@@ -274,6 +379,7 @@ func (r *Request) Snapshot() Snapshot {
 	return Snapshot{
 		Status:       r.status,
 		Cached:       r.cached,
+		Coalesced:    r.coalesced,
 		Sol:          r.sol,
 		Err:          r.err,
 		ErrMsg:       r.errMsg,
@@ -341,6 +447,11 @@ func (r *Request) unsubscribe(ch chan mwvc.Event) {
 // subscribers and the engine's aggregate metrics. It runs synchronously on
 // the solving worker's goroutine.
 func (r *Request) observe(e mwvc.Event) {
+	if err := fault.Hit(fault.SolverStep); err != nil {
+		// The observer has no error channel; an injected step fault surfaces
+		// as a panic, deliberately exercising the per-solve panic guard.
+		panic(fmt.Sprintf("fault: solver step: %v", err))
+	}
 	r.mu.Lock()
 	if e.Kind == mwvc.KindRound {
 		r.rounds = e.Round
@@ -364,10 +475,17 @@ func (r *Request) observe(e mwvc.Event) {
 }
 
 // finish records the outcome, closes subscriber channels and releases
-// waiters. The cover cardinality is computed once here, not on every
-// status poll.
-func (r *Request) finish(sol *mwvc.Solution, err error, errMsg string) {
+// waiters. It is idempotent — the first call wins and returns true, later
+// calls (a worker's panic guard firing after a normal completion path, a
+// racing Close) are no-ops returning false. The cover cardinality is
+// computed once here, not on every status poll.
+func (r *Request) finish(sol *mwvc.Solution, err error, errMsg string) bool {
 	r.mu.Lock()
+	if r.completed {
+		r.mu.Unlock()
+		return false
+	}
+	r.completed = true
 	r.sol = sol
 	r.err = err
 	r.errMsg = errMsg
@@ -383,6 +501,9 @@ func (r *Request) finish(sol *mwvc.Solution, err error, errMsg string) {
 		r.coverSize = coverSize(sol)
 	}
 	r.doneAt = time.Now()
+	if r.startedAt.IsZero() {
+		r.startedAt = r.doneAt // never ran (drain, coalesced, abandoned)
+	}
 	subs := r.subs
 	r.subs = nil
 	r.mu.Unlock()
@@ -390,42 +511,68 @@ func (r *Request) finish(sol *mwvc.Solution, err error, errMsg string) {
 		close(ch)
 	}
 	close(r.done)
+	return true
 }
 
 // Engine runs solves. Create with NewEngine, stop with Close.
 type Engine struct {
-	cfg   Config
-	store *GraphStore
-	queue chan *Request
-	stop  chan struct{}
-	wg    sync.WaitGroup
+	cfg       Config
+	store     *GraphStore
+	queue     chan *Request
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	degradeAt int // queue length at which degradation engages
 
 	mu       sync.Mutex
 	closed   bool
+	draining bool
 	requests map[string]*Request
 	finished []string // completed request ids, oldest first (retention ring)
 	cache    map[cacheKey]*mwvc.Solution
+	inflight map[cacheKey]*Request // enqueued/running leaders, for coalescing
 	nextID   uint64
 
 	met engineMetrics
 }
 
-// NewEngine builds the engine and starts its worker pool.
-func NewEngine(cfg Config) *Engine {
+// NewEngine builds the engine and starts its worker pool. With
+// Config.DataDir set it opens the durable graph store, running the startup
+// recovery scan before any request is admitted; an unusable data directory
+// or an unknown Config.DegradeAlgorithm is an error.
+func NewEngine(cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
+	var store *GraphStore
+	if cfg.DataDir != "" {
+		var err error
+		if store, err = OpenGraphStore(cfg.DataDir, cfg.MaxGraphs); err != nil {
+			return nil, err
+		}
+	} else {
+		store = NewGraphStore(cfg.MaxGraphs)
+	}
+	if cfg.DegradeEnabled {
+		if _, ok := solver.Lookup(cfg.DegradeAlgorithm); !ok {
+			return nil, fmt.Errorf("serve: unknown degrade algorithm %q", cfg.DegradeAlgorithm)
+		}
+	}
 	e := &Engine{
-		cfg:      cfg,
-		store:    NewGraphStore(cfg.MaxGraphs),
-		queue:    make(chan *Request, cfg.QueueDepth),
-		stop:     make(chan struct{}),
-		requests: make(map[string]*Request),
-		cache:    make(map[cacheKey]*mwvc.Solution),
+		cfg:       cfg,
+		store:     store,
+		queue:     make(chan *Request, cfg.QueueDepth),
+		stop:      make(chan struct{}),
+		requests:  make(map[string]*Request),
+		cache:     make(map[cacheKey]*mwvc.Solution),
+		inflight:  make(map[cacheKey]*Request),
+		degradeAt: int(cfg.DegradeThreshold * float64(cfg.QueueDepth)),
+	}
+	if e.degradeAt < 1 {
+		e.degradeAt = 1
 	}
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go e.worker()
 	}
-	return e
+	return e, nil
 }
 
 // Config returns the engine's effective (defaulted) configuration.
@@ -433,6 +580,23 @@ func (e *Engine) Config() Config { return e.cfg }
 
 // Graphs returns the engine's graph store.
 func (e *Engine) Graphs() *GraphStore { return e.store }
+
+// StartDrain flips the engine into drain mode ahead of shutdown: new
+// Submits fail with ErrDraining (HTTP 503 + Retry-After) and /healthz goes
+// unhealthy so load balancers stop routing here, while queued and in-flight
+// solves keep running to completion. Close implies StartDrain.
+func (e *Engine) StartDrain() {
+	e.mu.Lock()
+	e.draining = true
+	e.mu.Unlock()
+}
+
+// Draining reports whether the engine is refusing new work (drain or close).
+func (e *Engine) Draining() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.draining || e.closed
+}
 
 // Close stops the workers, fails every still-queued request with ErrClosed
 // and waits for in-flight solves to finish. Subsequent Submits fail with
@@ -444,20 +608,14 @@ func (e *Engine) Close() {
 		return
 	}
 	e.closed = true
+	e.draining = true
 	e.mu.Unlock()
 	close(e.stop)
 	e.wg.Wait()
 	for {
 		select {
 		case req := <-e.queue:
-			req.mu.Lock()
-			req.startedAt = time.Now()
-			req.mu.Unlock()
-			req.finish(nil, ErrClosed, ErrClosed.Error())
-			e.met.failed.Add(1)
-			e.mu.Lock()
-			e.retainLocked(req.ID)
-			e.mu.Unlock()
+			e.complete(req, nil, ErrClosed, ErrClosed.Error())
 		default:
 			return
 		}
@@ -474,9 +632,12 @@ func (e *Engine) Lookup(id string) (*Request, bool) {
 
 // Submit admits one solve request. It validates the algorithm and graph,
 // answers from the solution cache when the exact (graph, algorithm, ε, seed,
-// constants) tuple has already been solved, and otherwise enqueues. It never
-// blocks: a full queue returns ErrQueueFull immediately — that is the
-// backpressure signal (HTTP 429).
+// constants) tuple has already been solved, coalesces onto an identical
+// in-flight request (N concurrent duplicates share one solver execution),
+// and otherwise enqueues — degrading eligible requests to the cheap
+// fallback solver first when the queue is past the overload threshold. It
+// never blocks: a full queue returns ErrQueueFull immediately — that is the
+// backpressure signal (HTTP 429 + Retry-After).
 func (e *Engine) Submit(p SolveParams) (*Request, error) {
 	if p.Epsilon == 0 {
 		p.Epsilon = 0.1 // the facade default; normalized so cache keys agree
@@ -508,6 +669,9 @@ func (e *Engine) Submit(p SolveParams) (*Request, error) {
 	if e.closed {
 		return nil, ErrClosed
 	}
+	if e.draining {
+		return nil, ErrDraining
+	}
 	e.met.requestsTotal.Add(1)
 	e.nextID++
 	req := &Request{
@@ -518,31 +682,72 @@ func (e *Engine) Submit(p SolveParams) (*Request, error) {
 		deadline: now.Add(p.Timeout),
 		status:   StatusQueued,
 		queuedAt: now,
+		interest: 1,
 	}
 	if sol, ok := e.cache[keyOf(p)]; ok {
 		// Cache hit: the request completes without ever entering the queue.
-		req.cached = true
-		req.status = StatusDone
-		req.sol = sol
-		req.coverSize = coverSize(sol)
-		req.rounds = sol.Rounds
-		req.startedAt = now
-		req.doneAt = now
-		close(req.done)
-		e.met.cacheHits.Add(1)
-		e.met.done.Add(1)
+		e.completeCacheHitLocked(req, sol, now)
+		return req, nil
+	}
+	// Overload degradation: with the queue past the threshold, downgrade
+	// the request to the cheap fallback before considering rejection. The
+	// degraded tuple gets its own cache and coalescing checks — under
+	// sustained identical load the fallback answer is usually already there.
+	if e.cfg.DegradeEnabled && p.Algorithm != e.cfg.DegradeAlgorithm && len(e.queue) >= e.degradeAt {
+		req.Degraded = true
+		req.RequestedAlgo = p.Algorithm
+		p.Algorithm = e.cfg.DegradeAlgorithm
+		if p.ImproveBudgetMS > degradedImproveBudgetMS {
+			p.ImproveBudgetMS = degradedImproveBudgetMS
+		}
+		req.Params = p
+		e.met.degraded.Add(1)
+		if sol, ok := e.cache[keyOf(p)]; ok {
+			e.completeCacheHitLocked(req, sol, now)
+			return req, nil
+		}
+	}
+	// Admission coalescing: an identical tuple already enqueued or solving
+	// makes this request a follower sharing the leader's outcome — no queue
+	// slot, no duplicate solver execution.
+	if leader, ok := e.inflight[keyOf(p)]; ok {
+		req.leader = leader
+		req.coalesced = true
+		leader.followers = append(leader.followers, req)
+		leader.mu.Lock()
+		leader.interest++
+		leader.mu.Unlock()
+		e.met.coalesced.Add(1)
 		e.requests[req.ID] = req
-		e.retainLocked(req.ID)
 		return req, nil
 	}
 	select {
 	case e.queue <- req:
+		e.inflight[keyOf(p)] = req
 	default:
 		e.met.rejected.Add(1)
 		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, e.cfg.QueueDepth)
 	}
 	e.requests[req.ID] = req
 	return req, nil
+}
+
+// completeCacheHitLocked finishes a request from the solution cache at
+// admission time. Caller holds e.mu.
+func (e *Engine) completeCacheHitLocked(req *Request, sol *mwvc.Solution, now time.Time) {
+	req.completed = true
+	req.cached = true
+	req.status = StatusDone
+	req.sol = sol
+	req.coverSize = coverSize(sol)
+	req.rounds = sol.Rounds
+	req.startedAt = now
+	req.doneAt = now
+	close(req.done)
+	e.met.cacheHits.Add(1)
+	e.met.done.Add(1)
+	e.requests[req.ID] = req
+	e.retainLocked(req.ID)
 }
 
 // retainLocked records a finished request id and evicts beyond the retention
@@ -571,7 +776,64 @@ func (e *Engine) worker() {
 		case <-e.stop:
 			return
 		case req := <-e.queue:
-			e.run(req)
+			e.dispatch(req)
+		}
+	}
+}
+
+// dispatch runs one dequeued request behind the worker's panic guard: a
+// panic anywhere in the request path (store access, trace fan-out, the
+// solver itself past its own guard) fails that one request with a typed
+// retryable error instead of killing the worker goroutine and silently
+// shrinking the pool.
+func (e *Engine) dispatch(req *Request) {
+	defer func() {
+		if v := recover(); v != nil {
+			e.met.panics.Add(1)
+			e.complete(req, nil, fmt.Errorf("%w: panic in request path: %v", ErrRetryable, v),
+				fmt.Sprintf("transient failure (recovered panic: %v); retry", v))
+		}
+	}()
+	if err := fault.Hit(fault.WorkerDequeue); err != nil {
+		e.complete(req, nil, fmt.Errorf("%w: %v", ErrRetryable, err),
+			"transient failure at dequeue; retry")
+		return
+	}
+	e.run(req)
+}
+
+// complete finalizes a request — and every coalesced follower riding on it
+// — with one outcome, updating metrics, the in-flight index and the
+// retention ring. It is idempotent per request (finish's first-call-wins
+// contract), so the dispatch panic guard can call it unconditionally.
+func (e *Engine) complete(req *Request, sol *mwvc.Solution, err error, errMsg string) {
+	if !req.finish(sol, err, errMsg) {
+		return
+	}
+	if err == nil {
+		e.met.done.Add(1)
+	} else {
+		e.met.failed.Add(1)
+	}
+	e.mu.Lock()
+	key := keyOf(req.Params)
+	if cur, ok := e.inflight[key]; ok && cur == req {
+		delete(e.inflight, key)
+	}
+	followers := req.followers
+	req.followers = nil
+	e.retainLocked(req.ID)
+	for _, f := range followers {
+		e.retainLocked(f.ID)
+	}
+	e.mu.Unlock()
+	for _, f := range followers {
+		if f.finish(sol, err, errMsg) {
+			if err == nil {
+				e.met.done.Add(1)
+			} else {
+				e.met.failed.Add(1)
+			}
 		}
 	}
 }
@@ -583,9 +845,9 @@ func keyOf(p SolveParams) cacheKey {
 
 // run executes one dequeued request end to end: deadline context, observed
 // solve through the facade, outcome classification, cache fill. The cache is
-// rechecked at dequeue time — a duplicate of a request that finished while
-// this one waited in the queue is served from the cache without re-running
-// the solver.
+// rechecked at dequeue time — a duplicate that slipped past coalescing (its
+// twin finished between this request's admission and dequeue) is served
+// from the cache without re-running the solver.
 func (e *Engine) run(req *Request) {
 	e.mu.Lock()
 	sol, hit := e.cache[keyOf(req.Params)]
@@ -595,15 +857,19 @@ func (e *Engine) run(req *Request) {
 		req.cached = true
 		req.startedAt = time.Now()
 		req.mu.Unlock()
-		req.finish(sol, nil, "")
 		e.met.cacheHits.Add(1)
-		e.met.done.Add(1)
-		e.mu.Lock()
-		e.retainLocked(req.ID)
-		e.mu.Unlock()
+		e.complete(req, sol, nil, "")
 		return
 	}
 	req.mu.Lock()
+	if req.abandoned {
+		// Every attached client disconnected while the request waited; do
+		// not burn a solver execution on a result nobody will read.
+		req.mu.Unlock()
+		e.met.abandoned.Add(1)
+		e.complete(req, nil, context.Canceled, "abandoned: client disconnected while queued")
+		return
+	}
 	req.status = StatusRunning
 	req.startedAt = time.Now()
 	req.mu.Unlock()
@@ -614,23 +880,24 @@ func (e *Engine) run(req *Request) {
 	// the queue fails here without wasting a solver execution on it.
 	ctx, cancel := context.WithDeadline(context.Background(), req.deadline)
 	defer cancel()
+	// Expose the cancel to Abandon so a client disconnect mid-solve frees
+	// the worker; re-check abandonment in case it raced the handoff.
+	req.mu.Lock()
+	req.cancelSolve = cancel
+	abandoned := req.abandoned
+	req.mu.Unlock()
+	if abandoned {
+		cancel()
+	}
 	if err := ctx.Err(); err != nil {
 		msg, _ := cli.DeadlineMessage(err, 0)
-		req.finish(nil, err, msg)
-		e.met.failed.Add(1)
-		e.mu.Lock()
-		e.retainLocked(req.ID)
-		e.mu.Unlock()
+		e.complete(req, nil, err, msg)
 		return
 	}
 	p := req.Params
 	sg, ok := e.store.Get(p.GraphHash)
 	if !ok { // validated at Submit; the store never evicts, so unreachable
-		req.finish(nil, ErrUnknownGraph, ErrUnknownGraph.Error())
-		e.met.failed.Add(1)
-		e.mu.Lock()
-		e.retainLocked(req.ID)
-		e.mu.Unlock()
+		e.complete(req, nil, ErrUnknownGraph, ErrUnknownGraph.Error())
 		return
 	}
 	opts := []mwvc.Option{
@@ -650,8 +917,11 @@ func (e *Engine) run(req *Request) {
 		opts = append(opts, mwvc.WithImprovement(time.Duration(p.ImproveBudgetMS)*time.Millisecond))
 	}
 	start := time.Now()
-	sol, err := mwvc.Solve(ctx, sg.Graph, opts...)
+	sol, err := e.solveGuarded(ctx, sg, opts)
 	elapsed := time.Since(start)
+	req.mu.Lock()
+	req.cancelSolve = nil
+	req.mu.Unlock()
 	// Solver-execution accounting covers failures too: a deadline-bound
 	// overload burns full worker time per request, and metrics that only
 	// count successes would show an idle solver during the incident.
@@ -678,11 +948,7 @@ func (e *Engine) run(req *Request) {
 		if m, ok := cli.DeadlineMessage(err, req.Rounds()); ok {
 			msg = m
 		}
-		req.finish(nil, err, msg)
-		e.met.failed.Add(1)
-		e.mu.Lock()
-		e.retainLocked(req.ID)
-		e.mu.Unlock()
+		e.complete(req, nil, err, msg)
 		return
 	}
 	key := keyOf(p)
@@ -694,10 +960,23 @@ func (e *Engine) run(req *Request) {
 		}
 	}
 	e.cache[key] = sol
-	e.retainLocked(req.ID)
 	e.mu.Unlock()
-	e.met.done.Add(1)
-	req.finish(sol, nil, "")
+	e.complete(req, sol, nil, "")
+}
+
+// solveGuarded runs mwvc.Solve behind its own recover guard, so a panic in
+// solver code (including an injected SolverStep panic surfacing through the
+// observer) fails the one request with a typed retryable error instead of
+// unwinding into the worker loop.
+func (e *Engine) solveGuarded(ctx context.Context, sg *StoredGraph, opts []mwvc.Option) (sol *mwvc.Solution, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			e.met.panics.Add(1)
+			sol = nil
+			err = fmt.Errorf("%w: solver panic: %v", ErrRetryable, v)
+		}
+	}()
+	return mwvc.Solve(ctx, sg.Graph, opts...)
 }
 
 // engineMetrics is the engine's aggregate instrumentation; see metrics.go
@@ -713,6 +992,14 @@ type engineMetrics struct {
 	eventsTotal   atomic.Int64
 	solveCount    atomic.Int64
 	solveNanos    atomic.Int64
+
+	// Robustness accounting: overload degradations, coalesced duplicate
+	// admissions, abandoned (client-disconnected) requests and recovered
+	// panics in the request path.
+	degraded  atomic.Int64
+	coalesced atomic.Int64
+	abandoned atomic.Int64
+	panics    atomic.Int64
 
 	// Kernelization accounting across *successful* solver executions that
 	// ran the reduction stage. Failed solves are excluded by necessity, not

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	mwvc "repro"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/solver"
 )
@@ -29,7 +30,7 @@ const maxGraphUpload = 1 << 31
 //	GET  /v1/solve/{id}      request status / result
 //	GET  /v1/solve/{id}/trace  live round-by-round events (SSE)
 //	GET  /metrics            Prometheus text exposition
-//	GET  /healthz            liveness
+//	GET  /healthz            readiness: 200 serving, 503 draining
 func NewHandler(e *Engine) http.Handler {
 	s := &server{engine: e}
 	mux := http.NewServeMux()
@@ -38,11 +39,21 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("GET /v1/solve/{id}", s.status)
 	mux.HandleFunc("GET /v1/solve/{id}/trace", s.trace)
 	mux.HandleFunc("GET /metrics", s.metrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.healthz)
 	return mux
+}
+
+// healthz is the readiness probe: 200 while the engine accepts work, 503
+// once a drain (or close) begins so load balancers stop routing here while
+// queued and in-flight solves finish.
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.engine.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
 }
 
 type server struct {
@@ -85,13 +96,21 @@ type SolveRequest struct {
 
 // SolveResponse answers POST /v1/solve and GET /v1/solve/{id}.
 type SolveResponse struct {
-	ID        string  `json:"id"`
-	Status    Status  `json:"status"`
-	Cached    bool    `json:"cached,omitempty"`
-	Graph     string  `json:"graph"`
-	Algorithm string  `json:"algorithm"`
-	Epsilon   float64 `json:"epsilon"`
-	Seed      uint64  `json:"seed"`
+	ID     string `json:"id"`
+	Status Status `json:"status"`
+	Cached bool   `json:"cached,omitempty"`
+	// Coalesced marks a request that shared an identical in-flight solve
+	// instead of running its own.
+	Coalesced bool   `json:"coalesced,omitempty"`
+	Graph     string `json:"graph"`
+	// Algorithm is the solver that actually ran. Under overload degradation
+	// it may be the cheap fallback rather than what the client asked for —
+	// Degraded is set and RequestedAlgorithm preserves the original ask.
+	Algorithm          string  `json:"algorithm"`
+	Degraded           bool    `json:"degraded,omitempty"`
+	RequestedAlgorithm string  `json:"requested_algorithm,omitempty"`
+	Epsilon            float64 `json:"epsilon"`
+	Seed               uint64  `json:"seed"`
 	// Reduce echoes whether the kernelization stage was enabled for this
 	// request; kernel statistics appear under solution.reduction.
 	Reduce bool `json:"reduce"`
@@ -125,8 +144,14 @@ func (s *server) uploadGraph(w http.ResponseWriter, r *http.Request) {
 	sg, isNew, err := s.engine.Graphs().Add(g)
 	if err != nil {
 		code := http.StatusInternalServerError
-		if errors.Is(err, ErrStoreFull) {
+		switch {
+		case errors.Is(err, ErrStoreFull):
 			code = http.StatusInsufficientStorage
+		case errors.Is(err, ErrRetryable):
+			// A durable-store persist failure: nothing was acknowledged, the
+			// client may simply retry the upload.
+			w.Header().Set("Retry-After", "1")
+			code = http.StatusServiceUnavailable
 		}
 		httpError(w, code, err.Error())
 		return
@@ -159,7 +184,8 @@ func (s *server) solve(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusTooManyRequests, err.Error())
 		case errors.Is(err, ErrUnknownGraph):
 			httpError(w, http.StatusNotFound, err.Error())
-		case errors.Is(err, ErrClosed):
+		case errors.Is(err, ErrDraining), errors.Is(err, ErrClosed):
+			w.Header().Set("Retry-After", "1")
 			httpError(w, http.StatusServiceUnavailable, err.Error())
 		default: // unknown algorithm, malformed params
 			httpError(w, http.StatusBadRequest, err.Error())
@@ -179,11 +205,18 @@ func (s *server) solve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := req.Wait(r.Context()); err != nil {
-		// Client gone; the solve continues and its result still caches.
+		// Client gone. Withdraw this waiter's interest: when no one else is
+		// attached (no coalesced twin, no poller), the solve is cancelled so
+		// the worker slot stops burning on a result nobody will read.
+		req.Abandon()
 		return
 	}
 	snap := req.Snapshot()
-	writeJSON(w, solveStatusCode(snap.Err), s.response(req, snap, body.IncludeCover))
+	code := solveStatusCode(snap.Err)
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, s.response(req, snap, body.IncludeCover))
 }
 
 func (s *server) status(w http.ResponseWriter, r *http.Request) {
@@ -199,8 +232,9 @@ func (s *server) status(w http.ResponseWriter, r *http.Request) {
 // on success, 504 for a blown per-request deadline (the unified deadline
 // handling shared with cmd/mwvc -timeout), 422 for parameters outside the
 // algorithm's domain (exact beyond its vertex limit, ggk on a weighted
-// graph, ε out of range — a client mistake, not a server fault), 500
-// otherwise.
+// graph, ε out of range — a client mistake, not a server fault), 503 with
+// Retry-After for typed transient failures (recovered panic, tripped
+// worker, shutdown), 500 otherwise.
 func solveStatusCode(err error) int {
 	switch {
 	case err == nil:
@@ -209,7 +243,7 @@ func solveStatusCode(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, solver.ErrUnsupported):
 		return http.StatusUnprocessableEntity
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrRetryable):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
@@ -221,18 +255,21 @@ func solveStatusCode(err error) int {
 // CoverSize always reports its cardinality.
 func (s *server) response(req *Request, snap Snapshot, includeCover bool) SolveResponse {
 	resp := SolveResponse{
-		ID:              req.ID,
-		Status:          snap.Status,
-		Cached:          snap.Cached,
-		Graph:           req.Params.GraphHash,
-		Algorithm:       req.Params.Algorithm,
-		Epsilon:         req.Params.Epsilon,
-		Seed:            req.Params.Seed,
-		Reduce:          !req.Params.NoReduce,
-		ImproveBudgetMS: req.Params.ImproveBudgetMS,
-		Error:           snap.ErrMsg,
-		Rounds:          snap.Rounds,
-		TraceDropped:    snap.TraceDropped,
+		ID:                 req.ID,
+		Status:             snap.Status,
+		Cached:             snap.Cached,
+		Coalesced:          snap.Coalesced,
+		Graph:              req.Params.GraphHash,
+		Algorithm:          req.Params.Algorithm,
+		Degraded:           req.Degraded,
+		RequestedAlgorithm: req.RequestedAlgo,
+		Epsilon:            req.Params.Epsilon,
+		Seed:               req.Params.Seed,
+		Reduce:             !req.Params.NoReduce,
+		ImproveBudgetMS:    req.Params.ImproveBudgetMS,
+		Error:              snap.ErrMsg,
+		Rounds:             snap.Rounds,
+		TraceDropped:       snap.TraceDropped,
 	}
 	if !snap.StartedAt.IsZero() {
 		resp.QueueMS = snap.StartedAt.Sub(snap.QueuedAt).Milliseconds()
@@ -348,6 +385,17 @@ func httpError(w http.ResponseWriter, code int, msg string) {
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	if err := fault.Hit(fault.ResponseEncode); err != nil {
+		// Encoder fault: replace the payload with a clean typed error before
+		// any body byte is written — the client sees valid JSON and a
+		// retryable status, never a torn response. Written inline (not via a
+		// recursive writeJSON) so the error path cannot itself trip.
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "{\"error\":%q}\n", ErrRetryable.Error()+": encoding response")
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)

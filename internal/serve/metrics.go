@@ -19,10 +19,23 @@ type Metrics struct {
 	Done          int64 // successfully completed requests (incl. cache hits)
 	Failed        int64 // failed requests (deadline, solver error, shutdown)
 
+	// Robustness counters.
+	Degraded     int64 // requests downgraded to the fallback solver under overload
+	Coalesced    int64 // duplicate requests attached to an identical in-flight solve
+	Abandoned    int64 // requests whose every waiting client disconnected
+	SolverPanics int64 // panics recovered in the request path (request failed, worker survived)
+
 	// Instantaneous gauges.
 	InFlight     int64 // solves currently executing on workers
 	Queued       int64 // requests waiting in the FIFO queue
 	GraphsStored int64 // graphs in the content-addressed store
+	Draining     bool  // engine refusing new work ahead of shutdown
+
+	// Durable-store recovery findings from the startup scan (all zero for
+	// in-memory stores).
+	StoreRecovered    int64 // graph files verified and re-indexed at startup
+	StoreQuarantined  int64 // files renamed aside after failing verification
+	StoreTempsRemoved int64 // orphaned write temps deleted at startup
 
 	// Observer-stream totals across all solves.
 	RoundsTotal int64 // KindRound events observed
@@ -64,9 +77,14 @@ func (e *Engine) Metrics() Metrics {
 		CacheHits:     e.met.cacheHits.Load(),
 		Done:          e.met.done.Load(),
 		Failed:        e.met.failed.Load(),
+		Degraded:      e.met.degraded.Load(),
+		Coalesced:     e.met.coalesced.Load(),
+		Abandoned:     e.met.abandoned.Load(),
+		SolverPanics:  e.met.panics.Load(),
 		InFlight:      e.met.inFlight.Load(),
 		Queued:        int64(len(e.queue)),
 		GraphsStored:  int64(e.store.Len()),
+		Draining:      e.Draining(),
 		RoundsTotal:   e.met.roundsTotal.Load(),
 		EventsTotal:   e.met.eventsTotal.Load(),
 		SolveCount:    e.met.solveCount.Load(),
@@ -82,6 +100,10 @@ func (e *Engine) Metrics() Metrics {
 		ImproveSteps:         e.met.improveSteps.Load(),
 		ImproveWeightRemoved: e.met.improveWeightRemoved.Load(),
 	}
+	rec := e.store.Recovery()
+	m.StoreRecovered = int64(rec.Recovered)
+	m.StoreQuarantined = int64(rec.Quarantined)
+	m.StoreTempsRemoved = int64(rec.TempsRemoved)
 	e.met.algoMu.Lock()
 	if len(e.met.perAlgo) > 0 {
 		m.PerAlgorithm = make(map[string]int64, len(e.met.perAlgo))
@@ -91,6 +113,14 @@ func (e *Engine) Metrics() Metrics {
 	}
 	e.met.algoMu.Unlock()
 	return m
+}
+
+// boolGauge renders a bool as a 0/1 Prometheus gauge value.
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // WriteMetrics renders the snapshot in the Prometheus text exposition
@@ -106,6 +136,14 @@ func WriteMetrics(w io.Writer, m Metrics) error {
 		{"mwvc_cache_hits_total", "Requests answered from the solution cache.", "counter", float64(m.CacheHits)},
 		{"mwvc_requests_done_total", "Requests completed successfully.", "counter", float64(m.Done)},
 		{"mwvc_requests_failed_total", "Requests failed (deadline, error, shutdown).", "counter", float64(m.Failed)},
+		{"mwvc_requests_degraded_total", "Requests downgraded to the fallback solver under overload.", "counter", float64(m.Degraded)},
+		{"mwvc_requests_coalesced_total", "Duplicate requests coalesced onto an identical in-flight solve.", "counter", float64(m.Coalesced)},
+		{"mwvc_requests_abandoned_total", "Requests abandoned by every waiting client.", "counter", float64(m.Abandoned)},
+		{"mwvc_solver_panics_total", "Panics recovered in the request path.", "counter", float64(m.SolverPanics)},
+		{"mwvc_draining", "1 while the engine refuses new work ahead of shutdown.", "gauge", boolGauge(m.Draining)},
+		{"mwvc_store_recovered_total", "Graph files verified and re-indexed by the startup recovery scan.", "counter", float64(m.StoreRecovered)},
+		{"mwvc_store_quarantined_total", "Graph files quarantined by the startup recovery scan.", "counter", float64(m.StoreQuarantined)},
+		{"mwvc_store_temps_removed_total", "Orphaned write temps removed by the startup recovery scan.", "counter", float64(m.StoreTempsRemoved)},
 		{"mwvc_solves_in_flight", "Solves currently executing.", "gauge", float64(m.InFlight)},
 		{"mwvc_queue_depth", "Requests waiting in the FIFO queue.", "gauge", float64(m.Queued)},
 		{"mwvc_graphs_stored", "Graphs in the content-addressed store.", "gauge", float64(m.GraphsStored)},

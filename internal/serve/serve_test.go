@@ -72,7 +72,10 @@ func testGraph(t *testing.T, seed uint64, n int, d float64) *graph.Graph {
 
 func newTestEngine(t *testing.T, cfg Config) *Engine {
 	t.Helper()
-	e := NewEngine(cfg)
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(e.Close)
 	return e
 }
@@ -373,7 +376,10 @@ func TestRequestTraceObserved(t *testing.T) {
 
 func TestEngineCloseRejectsAndDrains(t *testing.T) {
 	release := setGate(t)
-	e := NewEngine(Config{Workers: 1, QueueDepth: 4})
+	e, err := NewEngine(Config{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	hash := addGraph(t, e, testGraph(t, 1, 30, 3))
 	req1, err := e.Submit(SolveParams{GraphHash: hash, Algorithm: "test-gated"})
 	if err != nil {

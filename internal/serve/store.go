@@ -36,16 +36,25 @@ type StoredGraph struct {
 // /v1/graphs: clients upload a graph once and refer to it by hash in any
 // number of solve requests, so repeated solves of the same instance never
 // re-upload (or re-parse) it. All methods are safe for concurrent use.
+//
+// A store opened with OpenGraphStore is additionally durable: every Add is
+// spilled to dir as an "mwvc-el 1" file named by the graph's sha256 digest
+// before it is acknowledged, written atomically (temp file → fsync → rename
+// → directory fsync), so a process killed at any instant either has the
+// whole graph on disk or an orphaned temp the next startup deletes — never
+// a torn file under the final name.
 type GraphStore struct {
-	mu     sync.RWMutex
-	graphs map[string]*StoredGraph
-	max    int
+	mu       sync.RWMutex
+	graphs   map[string]*StoredGraph
+	max      int
+	dir      string // "" = in-memory only
+	recovery RecoveryStats
 }
 
-// NewGraphStore returns a store holding at most max graphs (0 means the
-// default of 1024). The cap is a guardrail against unbounded memory from
-// hostile or runaway uploads, not an eviction policy: when full, Add returns
-// ErrStoreFull and the client must reuse stored graphs.
+// NewGraphStore returns an in-memory store holding at most max graphs (0
+// means the default of 1024). The cap is a guardrail against unbounded
+// memory from hostile or runaway uploads, not an eviction policy: when
+// full, Add returns ErrStoreFull and the client must reuse stored graphs.
 func NewGraphStore(max int) *GraphStore {
 	if max <= 0 {
 		max = 1024
@@ -58,7 +67,10 @@ var ErrStoreFull = fmt.Errorf("serve: graph store full")
 
 // Add stores g under its content hash and returns the stored entry plus
 // whether the graph was new. Re-adding an existing graph is a cheap no-op
-// returning the prior entry — that is the point of content addressing.
+// returning the prior entry — that is the point of content addressing. On a
+// durable store the graph is fsynced to disk before Add returns: a nil
+// error is a durability acknowledgment, and a persist failure leaves the
+// store (memory and disk) without the graph so the client can retry.
 func (s *GraphStore) Add(g *graph.Graph) (sg *StoredGraph, isNew bool, err error) {
 	hash, err := HashGraph(g)
 	if err != nil {
@@ -73,6 +85,11 @@ func (s *GraphStore) Add(g *graph.Graph) (sg *StoredGraph, isNew bool, err error
 		return nil, false, fmt.Errorf("%w (cap %d)", ErrStoreFull, s.max)
 	}
 	sg = &StoredGraph{Hash: hash, Graph: g, Vertices: g.NumVertices(), Edges: g.NumEdges()}
+	if s.dir != "" {
+		if err := s.persist(sg); err != nil {
+			return nil, false, err
+		}
+	}
 	s.graphs[hash] = sg
 	return sg, true, nil
 }
