@@ -11,8 +11,9 @@ build:
 serve:
 	$(GO) run ./cmd/mwvc-serve
 
-test:
-	$(GO) vet ./...
+# test depends on lint so `make all` and CI vet exactly once (in lint)
+# before the suite runs.
+test: lint
 	$(GO) test ./...
 
 # Per-algorithm micro-benchmarks plus the quick-mode experiment benches.
@@ -36,20 +37,26 @@ bench-json:
 bench-regress:
 	$(GO) run ./cmd/mwvc-bench -json BENCH.json -regress 1.5
 
+# The lint gate: go vet (its single run — test and docs-check depend on
+# this target instead of re-running it), gofmt cleanliness, and the
+# project's own rule suite (cmd/mwvc-lint; see DESIGN.md "Enforced
+# invariants").
 lint:
 	$(GO) vet ./...
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
 	fi
+	$(GO) run ./cmd/mwvc-lint
 
 fmt:
 	gofmt -w .
 
-# Documentation gate: vet, markdown link integrity, and doc-comment coverage
-# for the documented packages (internal/graph, internal/mpc, internal/reduce,
-# internal/improve, internal/solver, internal/serve). Run by the CI docs job.
-docs-check:
-	$(GO) vet ./...
+# Documentation gate: markdown link integrity and doc-comment coverage for
+# the documented packages (internal/graph, internal/mpc, internal/reduce,
+# internal/improve, internal/solver, internal/serve, internal/fault,
+# internal/lint). Depends on lint rather than running vet again. Run by the
+# CI docs job.
+docs-check: lint
 	$(GO) run ./cmd/mwvc-docs
 
 # Pin the README quickstart commands against flag drift (see

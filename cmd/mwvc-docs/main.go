@@ -39,6 +39,7 @@ var docPackages = []string{
 	"internal/solver",
 	"internal/serve",
 	"internal/fault",
+	"internal/lint",
 }
 
 func main() {

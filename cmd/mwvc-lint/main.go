@@ -1,0 +1,106 @@
+// Command mwvc-lint is the project-invariant static analyzer, run by
+// `make lint` and the CI lint job. It loads the whole module with the
+// standard library's go/parser + go/types (no external dependencies) and
+// enforces the invariants the runtime tests only sample: deterministic map
+// iteration, context polling in unbounded loops, bitwise float comparison,
+// hot-path allocation discipline, and registered fault-injection points.
+// See internal/lint for the rule suite.
+//
+// It also keeps DESIGN.md's injection-point table in sync with the
+// internal/fault registry: the default run verifies the generated region,
+// and -write-fault-table regenerates it.
+//
+// Findings print as `file:line: [rule] message`; the exit status is
+// nonzero when there are any. Suppress an individual finding with
+// `//lint:allow <rule> <reason>` on the offending line or the line above —
+// the reason is mandatory.
+//
+//	mwvc-lint [-root <module root>] [-rules] [-write-fault-table]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root (directory containing go.mod)")
+	listRules := flag.Bool("rules", false, "print the rule suite and exit")
+	writeTable := flag.Bool("write-fault-table", false, "regenerate the DESIGN.md injection-point table from the fault registry")
+	flag.Parse()
+
+	rules := lint.Rules()
+	if *listRules {
+		for _, r := range rules {
+			fmt.Printf("%-11s %s\n", r.Name, r.Doc)
+		}
+		return
+	}
+
+	loader, err := lint.NewLoader(*root)
+	if err != nil {
+		fatal(err)
+	}
+
+	faultPkg, err := loader.Package(loader.ModulePath() + "/internal/fault")
+	if err != nil {
+		fatal(err)
+	}
+	table, err := lint.FaultTable(faultPkg)
+	if err != nil {
+		fatal(err)
+	}
+	design := filepath.Join(*root, "DESIGN.md")
+	if *writeTable {
+		changed, err := lint.WriteFaultTableDoc(design, table)
+		if err != nil {
+			fatal(err)
+		}
+		if changed {
+			fmt.Println("mwvc-lint: DESIGN.md injection-point table updated")
+		} else {
+			fmt.Println("mwvc-lint: DESIGN.md injection-point table already current")
+		}
+		return
+	}
+
+	failed := false
+	if err := lint.CheckFaultTableDoc(design, table); err != nil {
+		fmt.Println(err)
+		failed = true
+	}
+
+	diags, err := lint.Run(loader, rules)
+	if err != nil {
+		fatal(err)
+	}
+	lint.RelDiagnostics(mustAbs(*root), diags)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mwvc-lint: %d finding(s)\n", len(diags))
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("mwvc-lint: ok")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mwvc-lint:", err)
+	os.Exit(1)
+}
+
+func mustAbs(p string) string {
+	abs, err := filepath.Abs(p)
+	if err != nil {
+		fatal(err)
+	}
+	return abs
+}

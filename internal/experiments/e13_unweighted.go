@@ -54,7 +54,7 @@ func runE13(cfg Config) ([]Renderable, error) {
 			return nil, &uncoveredError{edge: int(e)}
 		}
 
-		dm, err := matching.Distributed(g, cfg.Seed+43)
+		dm, err := matching.Distributed(context.Background(), g, cfg.Seed+43)
 		if err != nil {
 			return nil, err
 		}

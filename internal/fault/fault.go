@@ -28,16 +28,19 @@ type Point string
 // injector's rules is a no-op.
 const (
 	// StoreWrite fires inside GraphStore's durable Add, before the graph
-	// bytes are written and fsynced to the temp file.
+	// bytes are written and fsynced to the temp file; a trip exercises the
+	// upload 503 path — no acknowledgment, nothing stored, no litter.
 	StoreWrite Point = "store.write"
 	// StoreRead fires when the store loads a graph file from disk (the
-	// startup recovery scan).
+	// startup recovery scan); a trip exercises the quarantine path.
 	StoreRead Point = "store.read"
 	// StoreRename fires after the temp file is durable, before the atomic
-	// rename publishes it — the window a crash leaves an orphaned temp.
+	// rename publishes it — the window a crash leaves an orphaned temp; a
+	// trip exercises that crash window and the clean retry after it.
 	StoreRename Point = "store.rename"
 	// WorkerDequeue fires when a serve worker picks a request off the queue,
-	// before any solve work starts.
+	// before any solve work starts; a trip exercises the typed retryable
+	// failure path ahead of any solver run.
 	WorkerDequeue Point = "worker.dequeue"
 	// SolverStep fires on every observer event inside a running solve. Error
 	// rules at this point surface as panics (the observer callback has no

@@ -110,6 +110,8 @@ func (g *Graph) MaxDegree() int {
 
 // HasEdge reports whether u and v are adjacent. It runs a binary search over
 // u's (sorted) adjacency list, so it costs O(log deg(u)).
+//
+//mwvc:hotpath
 func (g *Graph) HasEdge(u, v Vertex) bool {
 	adj := g.Neighbors(u)
 	lo, hi := 0, len(adj)
@@ -305,9 +307,11 @@ func (g *Graph) DegreesWithinMask(mask []bool) []int {
 
 // DegreesWithinMaskInto is DegreesWithinMask writing into caller-provided
 // storage (len must be NumVertices), for callers that recycle the slice.
+//
+//mwvc:hotpath
 func (g *Graph) DegreesWithinMaskInto(deg []int, mask []bool) []int {
 	if len(deg) != g.NumVertices() {
-		panic(fmt.Sprintf("graph: DegreesWithinMaskInto dst length %d, want %d", len(deg), g.NumVertices()))
+		panic(badDstLen(len(deg), g.NumVertices()))
 	}
 	if mask == nil {
 		for v := range deg {
@@ -325,6 +329,12 @@ func (g *Graph) DegreesWithinMaskInto(deg []int, mask []bool) []int {
 		deg[v] = d
 	}
 	return deg
+}
+
+// badDstLen formats the DegreesWithinMaskInto length-mismatch panic message
+// outside the hot path, keeping fmt out of the annotated function.
+func badDstLen(got, want int) string {
+	return fmt.Sprintf("graph: DegreesWithinMaskInto dst length %d, want %d", got, want)
 }
 
 // String summarizes the graph for debugging.

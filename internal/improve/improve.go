@@ -37,6 +37,7 @@ package improve
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -312,7 +313,7 @@ func (s *state) eliminateRedundant(cand []graph.Vertex) {
 	sort.Slice(cand, func(i, j int) bool {
 		vi, vj := cand[i], cand[j]
 		wi, wj := s.g.Weight(vi), s.g.Weight(vj)
-		if wi != wj {
+		if math.Float64bits(wi) != math.Float64bits(wj) {
 			return wi > wj
 		}
 		if s.prio[vi] != s.prio[vj] {
@@ -343,6 +344,8 @@ func (s *state) gain(u graph.Vertex) float64 {
 // swapLoop runs BMS-sampled two-improvement swaps until the budget expires,
 // the context fires, or a full deterministic sweep certifies a local
 // optimum.
+//
+//mwvc:hotpath
 func (s *state) swapLoop() {
 	// After this many consecutive sample steps without an improving
 	// candidate, fall back to one exhaustive sweep to either find a move the
@@ -377,6 +380,8 @@ func (s *state) swapLoop() {
 // sample draws up to SampleSize cover vertices from the seeded RNG and
 // returns the one with the best positive gain (ties by RNG priority, then
 // id).
+//
+//mwvc:hotpath
 func (s *state) sample() (graph.Vertex, bool) {
 	var best graph.Vertex = -1
 	bestGain := 0.0
@@ -387,7 +392,8 @@ func (s *state) sample() (graph.Vertex, bool) {
 			continue
 		}
 		if best < 0 || g > bestGain ||
-			(g == bestGain && (s.prio[u] > s.prio[best] || (s.prio[u] == s.prio[best] && u < best))) {
+			(math.Float64bits(g) == math.Float64bits(bestGain) &&
+				(s.prio[u] > s.prio[best] || (s.prio[u] == s.prio[best] && u < best))) {
 			best, bestGain = u, g
 		}
 	}
@@ -398,6 +404,8 @@ func (s *state) sample() (graph.Vertex, bool) {
 // improving swap (first-improvement). It returns whether it accepted a
 // move; a false return with the run still live certifies a local optimum:
 // no redundant vertex (gain would be w(u) > 0) and no improving swap exist.
+//
+//mwvc:hotpath
 func (s *state) sweep() bool {
 	n := s.g.NumVertices()
 	for v := 0; v < n; v++ {
@@ -417,6 +425,8 @@ func (s *state) sweep() bool {
 // inserted vertices' cover neighborhoods for new redundancy. The cover is
 // valid after every individual add/remove, so a stop signal observed after
 // the swap still leaves a valid, strictly lighter cover.
+//
+//mwvc:hotpath
 func (s *state) applySwap(u graph.Vertex) {
 	s.scratch = s.scratch[:0]
 	for _, v := range s.g.Neighbors(u) {

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkCtxLoop enforces the cancellation contract in algorithm packages:
+// every for loop whose trip count is not statically bounded must reach a
+// context poll — a ctx.Err()/ctx.Done() call on any context.Context
+// expression, a call that forwards a context, or a call to a module
+// function that itself polls (computed transitively in Facts).
+//
+// Bounded means a counter loop (`for i := lo; i < hi; i++` and variants)
+// or a range over anything but a channel or an iterator function. The
+// worklist loops this intentionally catches (`for len(q) > 0`,
+// `for changed`, bare `for`) are exactly the loops PR 1 threaded contexts
+// through.
+func checkCtxLoop(p *Pass) {
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				if !boundedFor(loop) && !bodyPolls(info, p.Facts, loop.Body) {
+					p.Reportf(loop.For, "unbounded loop never polls the context; add a ctx.Err() check or call a polling helper")
+				}
+			case *ast.RangeStmt:
+				if !boundedRange(info, loop) && !bodyPolls(info, p.Facts, loop.Body) {
+					p.Reportf(loop.For, "range over a channel/iterator never polls the context; add a ctx.Err() check or call a polling helper")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// boundedFor reports whether a three-clause for statement has a statically
+// evident trip bound. Two shapes qualify: a counter loop, whose post
+// statement advances a variable the condition compares with <, <=, > or >=
+// (an && condition is bounded when either conjunct is); and a bit-drain
+// loop, `for x != 0` / `for x > 0` whose body strictly shrinks x with
+// `x &= x - 1` or `x >>= k` — at most one trip per bit of the word.
+func boundedFor(loop *ast.ForStmt) bool {
+	if loop.Cond == nil {
+		return false
+	}
+	if counter := postCounter(loop.Post); counter != "" && condBounds(loop.Cond, counter) {
+		return true
+	}
+	return bitDrain(loop)
+}
+
+// postCounter extracts the variable a loop's post statement advances, or "".
+func postCounter(post ast.Stmt) string {
+	switch post := post.(type) {
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(post.X).(*ast.Ident); ok {
+			return id.Name
+		}
+	case *ast.AssignStmt:
+		if (post.Tok == token.ADD_ASSIGN || post.Tok == token.SUB_ASSIGN || post.Tok == token.SHR_ASSIGN ||
+			post.Tok == token.MUL_ASSIGN || post.Tok == token.QUO_ASSIGN) && len(post.Lhs) == 1 {
+			if id, ok := ast.Unparen(post.Lhs[0]).(*ast.Ident); ok {
+				return id.Name
+			}
+		}
+	}
+	return ""
+}
+
+// condBounds reports whether cond constrains counter with a relational
+// comparison. An && condition bounds the loop when either conjunct does
+// (the loop exits as soon as one goes false); an || condition only when
+// both do.
+func condBounds(cond ast.Expr, counter string) bool {
+	e, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch e.Op {
+	case token.LAND:
+		return condBounds(e.X, counter) || condBounds(e.Y, counter)
+	case token.LOR:
+		return condBounds(e.X, counter) && condBounds(e.Y, counter)
+	case token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return mentionsIdent(e.X, counter) || mentionsIdent(e.Y, counter)
+	}
+	return false
+}
+
+// bitDrain recognizes `for x != 0 { ... x &= x - 1 ... }` and
+// `for x > 0 { ... x >>= k ... }`: each trip clears at least one bit, so
+// the loop runs at most 64 times.
+func bitDrain(loop *ast.ForStmt) bool {
+	cond, ok := ast.Unparen(loop.Cond).(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.NEQ && cond.Op != token.GTR) {
+		return false
+	}
+	id, ok := ast.Unparen(cond.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if lit, ok := ast.Unparen(cond.Y).(*ast.BasicLit); !ok || lit.Value != "0" {
+		return false
+	}
+	drains := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if drains {
+			return false
+		}
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != 1 {
+			return true
+		}
+		lhs, ok := ast.Unparen(asg.Lhs[0]).(*ast.Ident)
+		if !ok || lhs.Name != id.Name {
+			return true
+		}
+		switch asg.Tok {
+		case token.SHR_ASSIGN:
+			drains = true
+		case token.AND_ASSIGN:
+			// x &= x - 1 — the canonical lowest-bit clear.
+			if rhs, ok := ast.Unparen(asg.Rhs[0]).(*ast.BinaryExpr); ok && rhs.Op == token.SUB {
+				if rid, ok := ast.Unparen(rhs.X).(*ast.Ident); ok && rid.Name == id.Name {
+					if lit, ok := ast.Unparen(rhs.Y).(*ast.BasicLit); ok && lit.Value == "1" {
+						drains = true
+					}
+				}
+			}
+		}
+		return !drains
+	})
+	return drains
+}
+
+// mentionsIdent reports whether expression e contains an identifier named
+// name.
+func mentionsIdent(e ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// boundedRange reports whether a range statement has a bounded trip count:
+// ranges over slices, arrays, maps, strings and integers are bounded;
+// ranges over channels and iterator functions are not.
+func boundedRange(info *types.Info, loop *ast.RangeStmt) bool {
+	t := info.TypeOf(loop.X)
+	if t == nil {
+		return true
+	}
+	switch t.Underlying().(type) {
+	case *types.Chan, *types.Signature:
+		return false
+	}
+	return true
+}
+
+// bodyPolls reports whether the loop body reaches a context poll without
+// leaving the function: a direct ctx.Err()/ctx.Done() call, a call
+// forwarding a context.Context argument, or a static call to a module
+// function known (transitively) to poll.
+func bodyPolls(info *types.Info, facts *Facts, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if isContextPoll(info, n) || isContextForwardingCall(info, n) {
+			found = true
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if callee := staticCallee(info, call); callee != nil && facts.polls[callee] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

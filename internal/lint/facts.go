@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Facts are the module-wide analyses computed once per Run and shared by
+// every rule: which functions poll the context (ctxloop follows calls into
+// them) and which Point constants the fault registry declares (faultpoint
+// checks call sites against them).
+type Facts struct {
+	// polls maps a module function to true when its body reaches a context
+	// poll — directly, by passing a context to a callee, or by calling
+	// another polling function (computed to a fixpoint).
+	polls map[*types.Func]bool
+	// faultConsts is the set of registered injection-point constants: every
+	// package-level constant of type Point declared in internal/fault.
+	faultConsts map[*types.Const]bool
+	// decls maps a module function object back to its declaration.
+	decls map[*types.Func]*ast.FuncDecl
+	// declPkg maps a module function object to its defining package.
+	declPkg map[*types.Func]*Package
+}
+
+// ComputeFacts runs the cross-package analyses over the loaded packages.
+// The golden-file harness passes its testdata packages through the same
+// function so rule behavior is identical in tests and in the CLI.
+func ComputeFacts(pkgs []*Package) *Facts {
+	f := &Facts{
+		polls:       make(map[*types.Func]bool),
+		faultConsts: make(map[*types.Const]bool),
+		decls:       make(map[*types.Func]*ast.FuncDecl),
+		declPkg:     make(map[*types.Func]*Package),
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				f.decls[obj] = fd
+				f.declPkg[obj] = pkg
+			}
+		}
+		if lastElem(pkg.Path) == "fault" {
+			f.collectFaultConsts(pkg)
+		}
+	}
+	f.computePolls()
+	return f
+}
+
+// collectFaultConsts records every package-level Point constant of the
+// fault registry package.
+func (f *Facts) collectFaultConsts(pkg *Package) {
+	scope := pkg.Pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if named, ok := c.Type().(*types.Named); ok && named.Obj().Name() == "Point" {
+			f.faultConsts[c] = true
+		}
+	}
+}
+
+// computePolls seeds the polling set with functions whose bodies poll the
+// context directly or pass a context onward, then propagates through
+// static call edges until the set stops growing.
+func (f *Facts) computePolls() {
+	for obj, decl := range f.decls {
+		if f.pollsDirectly(f.declPkg[obj], decl) {
+			f.polls[obj] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, decl := range f.decls {
+			if f.polls[obj] {
+				continue
+			}
+			pkg := f.declPkg[obj]
+			found := false
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := staticCallee(pkg.Info, call); callee != nil && f.polls[callee] {
+					found = true
+					return false
+				}
+				return true
+			})
+			if found {
+				f.polls[obj] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// pollsDirectly reports whether the function body contains a context poll
+// without following calls: ctx.Err()/ctx.Done() on any context.Context
+// expression, or a call that passes a context.Context argument onward (the
+// callee then owns the contract).
+func (f *Facts) pollsDirectly(pkg *Package, decl *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if isContextPoll(pkg.Info, n) || isContextForwardingCall(pkg.Info, n) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isContextPoll reports whether n is a call of Err or Done on an expression
+// of type context.Context.
+func isContextPoll(info *types.Info, n ast.Node) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if name := sel.Sel.Name; name != "Err" && name != "Done" {
+		return false
+	}
+	return isContextType(info.TypeOf(sel.X))
+}
+
+// isContextForwardingCall reports whether n is a call with at least one
+// argument of type context.Context — delegating cancellation to the callee.
+func isContextForwardingCall(info *types.Info, n ast.Node) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	for _, arg := range call.Args {
+		if isContextType(info.TypeOf(arg)) {
+			// Constructing a derived context (context.WithCancel, etc.)
+			// takes a context argument but polls nothing; only treat the
+			// call as forwarding when it is not a context.* constructor.
+			if callee := staticCallee(info, call); callee != nil {
+				if p := callee.Pkg(); p != nil && p.Path() == "context" {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// staticCallee resolves a call expression to the *types.Func it statically
+// invokes, or nil for dynamic calls (interface methods, function values)
+// and type conversions.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	// An interface method has no body to analyze; the forwarding check in
+	// pollsDirectly is what credits calls through interfaces.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) {
+			return nil
+		}
+	}
+	return fn
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkFaultPoint keeps injection-point names from drifting: every
+// argument to fault.Hit must be one of the Point constants registered in
+// internal/fault (the same table DESIGN.md's injection-point docs are
+// generated from), and no package outside the registry may mint a
+// fault.Point from a string literal. A raw string compiles fine, hits a
+// point no injector ever arms, and silently turns a chaos test into a
+// no-op — that is the drift this rule closes.
+func checkFaultPoint(p *Pass) {
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPointConversion(info, call) {
+				p.Reportf(call.Pos(), "fault.Point minted outside internal/fault; use a registered Point constant (or add one to the registry)")
+				return true
+			}
+			callee := staticCallee(info, call)
+			if callee == nil || callee.Name() != "Hit" || callee.Pkg() == nil || lastElem(callee.Pkg().Path()) != "fault" {
+				return true
+			}
+			if len(call.Args) != 1 {
+				return true
+			}
+			if !isRegisteredPoint(info, p.Facts, call.Args[0]) {
+				p.Reportf(call.Args[0].Pos(), "fault.Hit argument must be a registered Point constant from internal/fault, not %s", describeArg(call.Args[0]))
+			}
+			return true
+		})
+	}
+}
+
+// isPointConversion reports whether call converts an expression to
+// fault.Point (e.g. fault.Point("store.write")).
+func isPointConversion(info *types.Info, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	tn, ok := info.Uses[id].(*types.TypeName)
+	if !ok {
+		return false
+	}
+	return tn.Name() == "Point" && tn.Pkg() != nil && lastElem(tn.Pkg().Path()) == "fault"
+}
+
+// isRegisteredPoint reports whether arg resolves, through an identifier or
+// selector, to one of the registry's Point constants.
+func isRegisteredPoint(info *types.Info, facts *Facts, arg ast.Expr) bool {
+	var id *ast.Ident
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	return ok && facts.faultConsts[c]
+}
+
+// describeArg names the offending argument shape for the diagnostic.
+func describeArg(arg ast.Expr) string {
+	switch ast.Unparen(arg).(type) {
+	case *ast.BasicLit:
+		return "a string literal"
+	case *ast.CallExpr:
+		return "a conversion"
+	default:
+		return "a non-constant expression"
+	}
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"os"
+	"strings"
+)
+
+// Markers delimiting the generated injection-point table in DESIGN.md;
+// everything between them is owned by `mwvc-lint -write-fault-table`.
+const (
+	// FaultTableBegin opens the generated region.
+	FaultTableBegin = "<!-- faultpoints:begin (generated from internal/fault by `go run ./cmd/mwvc-lint -write-fault-table`; do not edit) -->"
+	// FaultTableEnd closes the generated region.
+	FaultTableEnd = "<!-- faultpoints:end -->"
+)
+
+// FaultTable renders the registry's injection points as a markdown table:
+// one row per package-level Point constant of the fault package, in
+// declaration order, with the row text taken from the constant's doc
+// comment. This is the single source the DESIGN.md table is generated
+// from, so the docs cannot drift from the registry.
+func FaultTable(pkg *Package) (string, error) {
+	var b strings.Builder
+	b.WriteString("| Point | Constant | Fires |\n")
+	b.WriteString("|-------|----------|-------|\n")
+	rows := 0
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 {
+					continue
+				}
+				c, ok := pkg.Info.Defs[vs.Names[0]].(*types.Const)
+				if !ok {
+					continue
+				}
+				named, ok := c.Type().(*types.Named)
+				if !ok || named.Obj().Name() != "Point" || c.Parent() != pkg.Pkg.Scope() {
+					continue
+				}
+				doc := vs.Doc
+				if doc == nil {
+					return "", fmt.Errorf("lint: fault point constant %s lacks the doc comment the table is generated from", c.Name())
+				}
+				fmt.Fprintf(&b, "| `%s` | `%s` | %s |\n",
+					constant.StringVal(c.Val()), c.Name(), docCell(c.Name(), doc.Text()))
+				rows++
+			}
+		}
+	}
+	if rows == 0 {
+		return "", fmt.Errorf("lint: no Point constants found in %s", pkg.Path)
+	}
+	return b.String(), nil
+}
+
+// docCell flattens a constant's doc comment into one table cell: the
+// leading "<Name> fires" is dropped, newlines collapse to spaces, and the
+// first letter is capitalized.
+func docCell(name, doc string) string {
+	text := strings.Join(strings.Fields(doc), " ")
+	if rest, ok := strings.CutPrefix(text, name+" "); ok {
+		text = rest
+	}
+	if text != "" {
+		text = strings.ToUpper(text[:1]) + text[1:]
+	}
+	return text
+}
+
+// FaultTableRegion returns the full generated region, markers included.
+func FaultTableRegion(table string) string {
+	return FaultTableBegin + "\n\n" + table + "\n" + FaultTableEnd
+}
+
+// CheckFaultTableDoc verifies that the marked region of the documentation
+// file matches the generated table, returning a descriptive error when the
+// markers are missing or the content is stale.
+func CheckFaultTableDoc(docPath, table string) error {
+	data, err := os.ReadFile(docPath)
+	if err != nil {
+		return err
+	}
+	current, err := extractRegion(string(data))
+	if err != nil {
+		return fmt.Errorf("%s: %w", docPath, err)
+	}
+	if strings.TrimSpace(current) != strings.TrimSpace(table) {
+		return fmt.Errorf("%s: injection-point table is stale; run `go run ./cmd/mwvc-lint -write-fault-table`", docPath)
+	}
+	return nil
+}
+
+// WriteFaultTableDoc rewrites the marked region of the documentation file
+// with the generated table, reporting whether the file changed.
+func WriteFaultTableDoc(docPath, table string) (bool, error) {
+	data, err := os.ReadFile(docPath)
+	if err != nil {
+		return false, err
+	}
+	text := string(data)
+	begin := strings.Index(text, FaultTableBegin)
+	end := strings.Index(text, FaultTableEnd)
+	if begin < 0 || end < 0 || end < begin {
+		return false, fmt.Errorf("%s: faultpoints markers not found", docPath)
+	}
+	updated := text[:begin] + FaultTableRegion(table) + text[end+len(FaultTableEnd):]
+	if updated == text {
+		return false, nil
+	}
+	return true, os.WriteFile(docPath, []byte(updated), 0o644)
+}
+
+// extractRegion pulls the content between the faultpoints markers.
+func extractRegion(text string) (string, error) {
+	begin := strings.Index(text, FaultTableBegin)
+	if begin < 0 {
+		return "", fmt.Errorf("missing marker %q", FaultTableBegin)
+	}
+	rest := text[begin+len(FaultTableBegin):]
+	end := strings.Index(rest, FaultTableEnd)
+	if end < 0 {
+		return "", fmt.Errorf("missing marker %q", FaultTableEnd)
+	}
+	return rest[:end], nil
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkFloatEq flags == and != between floating-point operands, and switch
+// statements with a floating-point tag, unless one side is a compile-time
+// constant. Comparing a computed weight or ratio for equality depends on
+// rounding history; the project contract is to compare through
+// math.Float64bits (which these expressions never trip — the operands are
+// integers by then) or against an explicit constant/tolerance.
+func checkFloatEq(p *Pass) {
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op != token.EQL && e.Op != token.NEQ {
+					return true
+				}
+				if !isFloat(info.TypeOf(e.X)) && !isFloat(info.TypeOf(e.Y)) {
+					return true
+				}
+				if isConstExpr(info, e.X) || isConstExpr(info, e.Y) {
+					return true
+				}
+				p.Reportf(e.OpPos, "%s on floating-point operands is rounding-sensitive; compare math.Float64bits values or use an explicit tolerance", e.Op)
+			case *ast.SwitchStmt:
+				if e.Tag == nil || !isFloat(info.TypeOf(e.Tag)) || isConstExpr(info, e.Tag) {
+					return true
+				}
+				p.Reportf(e.Switch, "switch on a floating-point value is rounding-sensitive; compare math.Float64bits values or use an explicit tolerance")
+			}
+			return true
+		})
+	}
+}
+
+// isFloat reports whether t's underlying type is float32 or float64.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConstExpr reports whether the type checker evaluated e to a constant.
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotpathDirective marks a function whose steady-state execution must not
+// allocate; rule hotalloc enforces it. The annotation lives in the
+// function's doc comment, directive-style:
+//
+//	//mwvc:hotpath
+//	func (c *Cluster) routeChunk(k int) { ... }
+const HotpathDirective = "//mwvc:hotpath"
+
+// checkHotAlloc enforces the allocation discipline on every function
+// annotated //mwvc:hotpath — the source-level form of the AllocsPerRun
+// pins on the MPC message plane and the local-search inner loops. Inside
+// an annotated function it flags:
+//
+//   - map composite literals and make(map...) — a fresh hash table per call;
+//   - function literals that capture variables — the capture forces a heap
+//     closure on every execution;
+//   - calls into package fmt — fmt formats through interfaces and
+//     allocates on every call;
+//   - append to a slice declared inside the function — growth the caller
+//     cannot pre-size; hot paths append only into hoisted buffers
+//     (parameters, receivers fields, package state).
+func checkHotAlloc(p *Pass) {
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			checkHotBody(p, info, fd)
+		}
+	}
+}
+
+// isHotpath reports whether the function carries the //mwvc:hotpath
+// directive in its doc comment.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == HotpathDirective || strings.HasPrefix(c.Text, HotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotBody walks one annotated function.
+func checkHotBody(p *Pass, info *types.Info, fd *ast.FuncDecl) {
+	body := fd.Body
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CompositeLit:
+			if t := info.TypeOf(e); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					p.Reportf(e.Pos(), "map literal allocates in hot path %s; hoist the map out of the hot function", fd.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(p, info, fd, e)
+		case *ast.FuncLit:
+			if capt := capturedVar(info, fd, e); capt != "" {
+				p.Reportf(e.Pos(), "closure captures %s in hot path %s; a capturing func literal heap-allocates per execution", capt, fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall flags make(map...), fmt calls, and appends to local slices.
+func checkHotCall(p *Pass, info *types.Info, fd *ast.FuncDecl, call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		switch info.Uses[id] {
+		case types.Universe.Lookup("make"):
+			if len(call.Args) > 0 {
+				if t := info.TypeOf(call.Args[0]); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						p.Reportf(call.Pos(), "make(map) allocates in hot path %s; hoist the map out of the hot function", fd.Name.Name)
+					}
+				}
+			}
+			return
+		case types.Universe.Lookup("append"):
+			if len(call.Args) == 0 {
+				return
+			}
+			base, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+			if !ok {
+				return
+			}
+			obj := info.Uses[base]
+			if obj == nil {
+				return
+			}
+			// Appending into a hoisted buffer (parameter, receiver field,
+			// package state) is fine; growing a slice born inside the hot
+			// function is the allocation the rule exists to catch.
+			if obj.Pos() > fd.Body.Lbrace && obj.Pos() < fd.Body.Rbrace {
+				p.Reportf(call.Pos(), "append grows %s, declared inside hot path %s; append only into hoisted buffers", base.Name, fd.Name.Name)
+			}
+			return
+		}
+	}
+	if callee := staticCallee(info, call); callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		p.Reportf(call.Pos(), "fmt.%s allocates in hot path %s; format outside the hot function", callee.Name(), fd.Name.Name)
+	}
+}
+
+// capturedVar returns the name of a variable the function literal captures
+// from the enclosing function (body, parameters or receiver), or "" when it
+// captures nothing.
+func capturedVar(info *types.Info, enclosing *ast.FuncDecl, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		// Captured: declared in the enclosing function but outside the
+		// literal itself.
+		if obj.Pos() >= enclosing.Pos() && obj.Pos() < enclosing.End() &&
+			(obj.Pos() < lit.Pos() || obj.Pos() > lit.End()) {
+			name = id.Name
+		}
+		return true
+	})
+	return name
+}

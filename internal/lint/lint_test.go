@@ -1,0 +1,181 @@
+package lint_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// expectation is one `// want` comment from a testdata file: a diagnostic
+// regex anchored to a file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// parseWants extracts the golden expectations from a loaded package. The
+// syntax is analysistest-style:
+//
+//	for _, v := range m { // want `map iteration order is nondeterministic`
+//
+// plus an optional relative line offset for diagnostics whose line cannot
+// carry a second comment (a malformed //lint directive owns its whole
+// line):
+//
+//	//lint:allow maporder
+//	// want:-1 `needs a rule name and a reason`
+//
+// The pattern is matched against the full `[rule] message` text.
+func parseWants(t *testing.T, l *lint.Loader, pkg *lint.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want")
+				if !ok {
+					continue
+				}
+				offset := 0
+				if after, ok := strings.CutPrefix(rest, ":"); ok {
+					sp := strings.IndexByte(after, ' ')
+					if sp < 0 {
+						t.Fatalf("%s: malformed want offset %q", l.Fset().Position(c.Pos()), c.Text)
+					}
+					n, err := strconv.Atoi(after[:sp])
+					if err != nil {
+						t.Fatalf("%s: malformed want offset %q: %v", l.Fset().Position(c.Pos()), c.Text, err)
+					}
+					offset, rest = n, after[sp:]
+				}
+				pat, err := strconv.Unquote(strings.TrimSpace(rest))
+				if err != nil {
+					t.Fatalf("%s: want pattern must be a quoted string: %q", l.Fset().Position(c.Pos()), c.Text)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", l.Fset().Position(c.Pos()), pat, err)
+				}
+				pos := l.Fset().Position(c.Pos())
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line + offset, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// TestGolden runs each rule against its testdata package and checks the
+// produced diagnostics against the `// want` comments: every diagnostic
+// must be wanted, every want must fire. The allow directory has no rule of
+// its own; it exercises the malformed-directive findings the suppression
+// scanner itself reports.
+func TestGolden(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := lint.NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]*lint.Rule)
+	for _, r := range lint.Rules() {
+		byName[r.Name] = r
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			var rules []*lint.Rule
+			if name != "allow" {
+				r, ok := byName[name]
+				if !ok {
+					t.Fatalf("testdata/src/%s does not match any rule", name)
+				}
+				rules = []*lint.Rule{r}
+			}
+			pkg, err := l.LoadDir(filepath.Join("testdata", "src", name), "testdata/"+name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			factPkgs := []*lint.Package{pkg}
+			if name == "faultpoint" {
+				reg, err := l.Package(l.ModulePath() + "/internal/fault")
+				if err != nil {
+					t.Fatal(err)
+				}
+				factPkgs = append(factPkgs, reg)
+			}
+			facts := lint.ComputeFacts(factPkgs)
+			diags := lint.RunPackage(l, pkg, rules, facts, true)
+			wants := parseWants(t, l, pkg)
+			for _, d := range diags {
+				full := fmt.Sprintf("[%s] %s", d.Rule, d.Message)
+				found := false
+				for _, w := range wants {
+					if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(full) {
+						w.matched = true
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+}
+
+// TestModuleClean pins the acceptance bar the shipped tree must hold: the
+// full rule suite over the whole module reports nothing. Reverting any of
+// the determinism or cancellation fixes turns this red.
+func TestModuleClean(t *testing.T) {
+	l, err := lint.NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(l, lint.Rules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("module not lint-clean: %s", d)
+	}
+}
+
+// TestFaultTableCurrent pins DESIGN.md's generated injection-point table to
+// the internal/fault registry; a drift means someone edited one without
+// `mwvc-lint -write-fault-table`.
+func TestFaultTableCurrent(t *testing.T) {
+	l, err := lint.NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Package(l.ModulePath() + "/internal/fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := lint.FaultTable(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lint.CheckFaultTableDoc(filepath.Join("..", "..", "DESIGN.md"), table); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,281 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one type-checked module package: its parsed files plus the
+// go/types objects and expression types the rules consult. All packages
+// loaded through one Loader share the Loader's FileSet.
+type Package struct {
+	// Path is the package's import path (e.g. "repro/internal/core").
+	Path string
+	// Dir is the absolute directory the package was parsed from.
+	Dir string
+	// Files are the parsed non-test source files, sorted by file name.
+	Files []*ast.File
+	// Pkg is the type-checked package object.
+	Pkg *types.Package
+	// Info records types, definitions and uses for every expression and
+	// identifier in Files.
+	Info *types.Info
+}
+
+// Loader parses and type-checks the module's packages on demand using only
+// the standard library: intra-module imports resolve through the Loader's
+// own cache, everything else (the standard library) through the compiler's
+// source importer. Loading is memoized; a Loader is not safe for concurrent
+// use.
+type Loader struct {
+	root    string // absolute module root
+	modpath string // module path from go.mod
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	build   build.Context
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a Loader rooted at the module directory containing
+// go.mod.
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modpath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		root:    abs,
+		modpath: modpath,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		build:   build.Default,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// Fset returns the FileSet all loaded packages share; rules resolve
+// token.Pos values through it.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// ModulePath returns the module path declared in go.mod.
+func (l *Loader) ModulePath() string { return l.modpath }
+
+// modulePath extracts the module path from the first `module` directive of
+// a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			p := strings.TrimSpace(rest)
+			if unq, err := strconv.Unquote(p); err == nil {
+				p = unq
+			}
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Module loads every package of the module (skipping testdata and hidden
+// directories) and returns them sorted by import path.
+func (l *Loader) Module() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor" || name == "node_modules") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.root, dir)
+		if err != nil {
+			return nil, err
+		}
+		if rel == "." {
+			paths = append(paths, l.modpath)
+		} else {
+			paths = append(paths, l.modpath+"/"+filepath.ToSlash(rel))
+		}
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.Package(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Package loads (or returns the memoized) module package with the given
+// import path.
+func (l *Loader) Package(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("lint: %s is not a package of module %s", path, l.modpath)
+	}
+	return l.load(path, dir)
+}
+
+// LoadDir type-checks the single directory dir as a package with the given
+// import path. Intra-module imports still resolve through the Loader; the
+// golden-file test harness uses this to load testdata packages that are
+// invisible to Module.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(path, abs)
+}
+
+// dirFor maps a module import path back to its source directory.
+func (l *Loader) dirFor(path string) (string, bool) {
+	if path == l.modpath {
+		return l.root, true
+	}
+	rest, ok := strings.CutPrefix(path, l.modpath+"/")
+	if !ok {
+		return "", false
+	}
+	return filepath.Join(l.root, filepath.FromSlash(rest)), true
+}
+
+// load parses and type-checks one directory, resolving its imports
+// recursively.
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Pkg: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the buildable non-test Go files of one directory in
+// file-name order, honoring build constraints for the host platform.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if ok, err := l.build.MatchFile(dir, name); err != nil {
+			return nil, err
+		} else if !ok {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// loaderImporter adapts a Loader to go/types.ImporterFrom: module packages
+// come from the Loader's cache, everything else from the source importer.
+type loaderImporter Loader
+
+// Import resolves path with no importing-package context.
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+// ImportFrom resolves an import encountered while type-checking: module
+// packages recurse through the Loader, the rest delegate to the standard
+// library's source importer.
+func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == l.modpath || strings.HasPrefix(path, l.modpath+"/") {
+		pkg, err := l.Package(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}

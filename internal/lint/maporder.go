@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkMapOrder flags every range over a map (or over a maps.Keys /
+// maps.Values / maps.All iterator) in a deterministic package, except the
+// one blessed idiom: a loop whose body only appends the keys/values to
+// local slices that are passed to a sort call later in the same function.
+// Anything else makes program output depend on map iteration order, which
+// breaks bit-for-bit seed reproducibility.
+func checkMapOrder(p *Pass) {
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		// Walk function by function so the "sorted later" check can see the
+		// rest of the enclosing body.
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkMapOrderBody(p, info, fn.Body)
+			return true
+		})
+	}
+}
+
+// checkMapOrderBody inspects one function body for map ranges.
+func checkMapOrderBody(p *Pass, info *types.Info, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if isMapIterCall(info, rng.X) {
+			p.Reportf(rng.For, "range over %s iterates in nondeterministic map order; collect and sort instead", callName(rng.X))
+			return true
+		}
+		t := info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		collected := collectOnlyAppends(info, rng)
+		if collected == nil {
+			p.Reportf(rng.For, "map iteration order is nondeterministic here; collect the keys, sort them, and range over the slice")
+			return true
+		}
+		for _, obj := range collected {
+			if !sortedAfter(info, body, rng, obj) {
+				p.Reportf(rng.For, "map keys are collected into %s but never sorted in this function; sort before any order-dependent use", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// isMapIterCall reports whether e is a call to maps.Keys, maps.Values or
+// maps.All — iterator forms of a map range, equally unordered.
+func isMapIterCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "maps" {
+		return false
+	}
+	switch fn.Name() {
+	case "Keys", "Values", "All":
+		return true
+	}
+	return false
+}
+
+// callName renders a range operand that is a call, for diagnostics.
+func callName(e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "call"
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			return id.Name + "." + sel.Sel.Name
+		}
+	}
+	return "call"
+}
+
+// collectOnlyAppends returns the slice objects a map-range body appends
+// into, when every statement of the body is of the blessed collection form
+// `s = append(s, expr)`; it returns nil when the body does anything else.
+func collectOnlyAppends(info *types.Info, rng *ast.RangeStmt) []types.Object {
+	var objs []types.Object
+	for _, stmt := range rng.Body.List {
+		asg, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+			return nil
+		}
+		lhs, ok := ast.Unparen(asg.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return nil
+		}
+		fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fun.Name != "append" || info.Uses[fun] != types.Universe.Lookup("append") {
+			return nil
+		}
+		base, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok || base.Name != lhs.Name {
+			return nil
+		}
+		obj := info.Uses[base]
+		if obj == nil {
+			return nil
+		}
+		objs = append(objs, obj)
+	}
+	if len(objs) == 0 {
+		return nil
+	}
+	return objs
+}
+
+// sortedAfter reports whether, after the range statement, the enclosing
+// body contains a call to a sort.* or slices.Sort* function with obj among
+// its arguments.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := staticCallee(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,13 @@
+// Package allow exercises the suppression machinery itself: a lint
+// directive without a reason, or with an unknown verb, is a finding under
+// the pseudo-rule "allow" and suppresses nothing.
+package allow
+
+// Noop carries the malformed directives.
+func Noop() {
+	//lint:allow maporder
+	// want:-1 `\[allow\] //lint:allow needs a rule name and a reason`
+	//lint:forbid maporder no such verb
+	// want:-1 `\[allow\] malformed lint directive`
+	_ = 0
+}

@@ -1,0 +1,84 @@
+// Package ctxloop exercises rule ctxloop: unbounded loops in algorithm
+// packages must reach a context poll.
+package ctxloop
+
+import "context"
+
+// Grow doubles x until it clears n without ever polling — flagged: the loop
+// has no post statement, so the bound heuristic cannot see a counter.
+func Grow(n int) int {
+	x := 1
+	for x < n { // want `unbounded loop never polls the context`
+		x *= 2
+	}
+	return x
+}
+
+// Drain consumes a channel without polling — flagged: a channel range
+// blocks for as long as the sender keeps the channel open.
+func Drain(ch chan int) int {
+	total := 0
+	for v := range ch { // want `range over a channel/iterator never polls the context`
+		total += v
+	}
+	return total
+}
+
+// Counter is a statically bounded counter loop. No finding.
+func Counter(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// Polled reaches ctx.Err on every trip. No finding.
+func Polled(ctx context.Context, n int) (int, error) {
+	x := 1
+	for x < n {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		x *= 2
+	}
+	return x, nil
+}
+
+// stepper polls a stored context from a helper, the shape the transitive
+// polls fact exists for.
+type stepper struct {
+	ctx context.Context
+}
+
+// step polls directly.
+func (s *stepper) step() error { return s.ctx.Err() }
+
+// run never touches a context expression itself, but calls step, which
+// polls — the cross-function fact clears the loop. No finding.
+func (s *stepper) run(n int) int {
+	x := 1
+	for x < n {
+		if s.step() != nil {
+			return x
+		}
+		x *= 2
+	}
+	return x
+}
+
+// Allowed is a fixpoint sweep whose bound (each pass fixes at least one
+// inversion) is beyond the heuristic, suppressed with a reason. No finding.
+func Allowed(xs []int) {
+	changed := true
+	//lint:allow ctxloop each pass fixes at least one inversion, so passes are bounded by len(xs)
+	for changed {
+		changed = false
+		for i := 0; i+1 < len(xs); i++ {
+			if xs[i] > xs[i+1] {
+				xs[i], xs[i+1] = xs[i+1], xs[i]
+				changed = true
+			}
+		}
+	}
+}

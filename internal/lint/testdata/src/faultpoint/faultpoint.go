@@ -1,0 +1,31 @@
+// Package faultpoint exercises rule faultpoint: fault.Hit arguments must be
+// registered Point constants, and no package outside the registry may mint
+// a Point from a string.
+package faultpoint
+
+import "repro/internal/fault"
+
+// Registered hits a registry constant. No finding.
+func Registered() error {
+	return fault.Hit(fault.StoreWrite)
+}
+
+// Literal hits a raw string that no injector will ever arm — flagged.
+func Literal() error {
+	return fault.Hit("rogue.point") // want `registered Point constant from internal/fault, not a string literal`
+}
+
+// Minted converts a string to Point outside the registry — flagged at the
+// conversion, and again at the Hit whose argument is the resulting
+// variable.
+func Minted() error {
+	p := fault.Point("minted.point") // want `fault\.Point minted outside internal/fault`
+	return fault.Hit(p)              // want `registered Point constant from internal/fault, not a non-constant expression`
+}
+
+// Allowed suppresses a deliberate off-registry hit with a reason. No
+// finding.
+func Allowed() error {
+	//lint:allow faultpoint test-only point exercising the suppression path
+	return fault.Hit("suppressed.point")
+}

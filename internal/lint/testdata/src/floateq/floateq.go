@@ -1,0 +1,42 @@
+// Package floateq exercises rule floateq: no ==/!=/switch on computed
+// floating-point values.
+package floateq
+
+import "math"
+
+// Equal compares two computed floats — flagged.
+func Equal(a, b float64) bool {
+	return a == b // want `== on floating-point operands is rounding-sensitive`
+}
+
+// NotEqual compares a derived value — flagged.
+func NotEqual(a, b float64) bool {
+	return a+1 != b // want `!= on floating-point operands is rounding-sensitive`
+}
+
+// Classify switches on a float tag — flagged.
+func Classify(x float64) int {
+	switch x { // want `switch on a floating-point value is rounding-sensitive`
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+// Bits is the project idiom: the comparison happens on uint64 images. No
+// finding.
+func Bits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// AgainstConstant compares to a compile-time constant, which the rule
+// explicitly permits (sentinel and zero checks). No finding.
+func AgainstConstant(x float64) bool {
+	return x == 0
+}
+
+// Allowed is a real comparison suppressed with a reason. No finding.
+func Allowed(a, b float64) bool {
+	//lint:allow floateq b is a copy of a propagated verbatim, never recomputed
+	return a == b
+}

@@ -1,0 +1,77 @@
+// Package hotalloc exercises rule hotalloc: //mwvc:hotpath functions must
+// not allocate.
+package hotalloc
+
+import "fmt"
+
+// process appends into a caller-provided buffer — the hoisted-buffer
+// discipline the rule demands. No finding.
+//
+//mwvc:hotpath
+func process(dst []int, xs []int) []int {
+	for _, x := range xs {
+		dst = append(dst, x)
+	}
+	return dst
+}
+
+// index builds a fresh map per call — flagged.
+//
+//mwvc:hotpath
+func index(xs []string) map[string]int {
+	m := make(map[string]int, len(xs)) // want `make\(map\) allocates in hot path`
+	for i, x := range xs {
+		m[x] = i
+	}
+	return m
+}
+
+// table returns a map literal — flagged.
+//
+//mwvc:hotpath
+func table() map[string]bool {
+	return map[string]bool{"a": true} // want `map literal allocates in hot path`
+}
+
+// describe formats through fmt — flagged.
+//
+//mwvc:hotpath
+func describe(x int) string {
+	return fmt.Sprintf("x=%d", x) // want `fmt\.Sprintf allocates in hot path`
+}
+
+// capture returns a closure over its parameter — flagged.
+//
+//mwvc:hotpath
+func capture(xs []int) func() int {
+	return func() int { return len(xs) } // want `closure captures xs in hot path`
+}
+
+// gather grows a slice born inside the function — flagged.
+//
+//mwvc:hotpath
+func gather(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append grows out, declared inside hot path`
+	}
+	return out
+}
+
+// cold does all of the above without the annotation; the rule only binds
+// annotated functions. No finding.
+func cold(xs []string) map[string]int {
+	m := make(map[string]int)
+	for i, x := range xs {
+		m[fmt.Sprint(x)] = i
+	}
+	return m
+}
+
+// warm suppresses its one fmt call with a reason. No finding.
+//
+//mwvc:hotpath
+func warm(x int) string {
+	//lint:allow hotalloc error path only, never reached in steady state
+	return fmt.Sprint(x)
+}

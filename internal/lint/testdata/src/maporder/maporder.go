@@ -1,0 +1,48 @@
+// Package maporder exercises rule maporder: a deterministic package must
+// not let map iteration order reach its output — keys are collected,
+// sorted, and then ranged over.
+package maporder
+
+import "sort"
+
+// SumDirect folds map values in iteration order. Addition happens to be
+// commutative, but the rule cannot know that; the range itself is flagged.
+func SumDirect(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is nondeterministic here`
+		total += v
+	}
+	return total
+}
+
+// CollectNoSort collects the keys but never sorts them, so the slice still
+// carries map order.
+func CollectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `collected into keys but never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// CollectAndSort is the blessed idiom: a pure collection loop followed by a
+// sort of the same slice. No finding.
+func CollectAndSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Allowed is a real violation suppressed with a reasoned allow on the line
+// above. No finding.
+func Allowed(m map[string]int) int {
+	total := 0
+	//lint:allow maporder addition is commutative, so iteration order cannot reach the result
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

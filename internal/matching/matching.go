@@ -13,6 +13,7 @@
 package matching
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -114,7 +115,10 @@ type DistributedResult struct {
 //	sender id among them, if it proposed nobody better); mutual agreement
 //	matches the pair. In expectation a constant fraction of edges is
 //	removed per round, giving O(log n) rounds w.h.p.
-func Distributed(g *graph.Graph, seed uint64) (*DistributedResult, error) {
+//
+// The context is polled once per proposal round; cancellation surfaces as
+// ctx.Err() without waiting out the remaining rounds.
+func Distributed(ctx context.Context, g *graph.Graph, seed uint64) (*DistributedResult, error) {
 	n := g.NumVertices()
 	m := newMatching(g)
 	if n == 0 || g.NumEdges() == 0 {
@@ -134,6 +138,9 @@ func Distributed(g *graph.Graph, seed uint64) (*DistributedResult, error) {
 	maxRounds := 40 + 8*bitsLen(n)
 	round := 0
 	for remaining > 0 && round < maxRounds {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Each round, unmatched vertices flip a coin: heads propose, tails
 		// accept. The split is what keeps the round's matched pairs
 		// disjoint — without it a vertex could be confirmed as a proposer

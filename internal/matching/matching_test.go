@@ -1,6 +1,7 @@
 package matching
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -35,7 +36,7 @@ func TestGreedyPath(t *testing.T) {
 
 func TestDistributedMaximal(t *testing.T) {
 	g := gen.Gnp(5, 400, 0.02)
-	res, err := Distributed(g, 7)
+	res, err := Distributed(context.Background(), g, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestDistributedRoundsLogarithmic(t *testing.T) {
 	// O(log n) w.h.p.: allow a generous constant.
 	for _, n := range []int{100, 400, 1600} {
 		g := gen.GnpAvgDegree(9, n, 8)
-		res, err := Distributed(g, 3)
+		res, err := Distributed(context.Background(), g, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -64,11 +65,11 @@ func TestDistributedRoundsLogarithmic(t *testing.T) {
 
 func TestDistributedDeterministic(t *testing.T) {
 	g := gen.GnpAvgDegree(11, 200, 6)
-	a, err := Distributed(g, 42)
+	a, err := Distributed(context.Background(), g, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Distributed(g, 42)
+	b, err := Distributed(context.Background(), g, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,10 +84,10 @@ func TestDistributedDeterministic(t *testing.T) {
 }
 
 func TestDistributedDegenerate(t *testing.T) {
-	if _, err := Distributed(graph.NewBuilder(0).MustBuild(), 1); err != nil {
+	if _, err := Distributed(context.Background(), graph.NewBuilder(0).MustBuild(), 1); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Distributed(graph.NewBuilder(5).MustBuild(), 1)
+	res, err := Distributed(context.Background(), graph.NewBuilder(5).MustBuild(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestDistributedDegenerate(t *testing.T) {
 		t.Fatal("matched edges in an edgeless graph")
 	}
 	single, _ := graph.FromEdgeList(2, [][2]graph.Vertex{{0, 1}}, nil)
-	res, err = Distributed(single, 1)
+	res, err = Distributed(context.Background(), single, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestMatchingQuickProperties(t *testing.T) {
 			t.Log(err)
 			return false
 		}
-		dist, err := Distributed(g, seed+1)
+		dist, err := Distributed(context.Background(), g, seed+1)
 		if err != nil {
 			t.Log(err)
 			return false

@@ -524,6 +524,8 @@ func (c *Cluster) route() error {
 }
 
 // routeChunk assembles the inboxes of one contiguous chunk of destinations.
+//
+//mwvc:hotpath
 func (c *Cluster) routeChunk(k int) {
 	lo := k * c.chunkLen
 	hi := lo + c.chunkLen
@@ -537,6 +539,8 @@ func (c *Cluster) routeChunk(k int) {
 
 // deliver copies destination d's messages into its inbox arena and writes
 // the inbox view, in (sender, send-order) order.
+//
+//mwvc:hotpath
 func (c *Cluster) deliver(d int) {
 	m := c.machines[d]
 	tasks := c.tasks[c.taskOff[d]:c.taskOff[d+1]]

@@ -50,6 +50,7 @@ func Aggregate(c *mpc.Cluster, locals []uint64, op Op, fanIn int) (uint64, error
 	}
 	cur := append([]uint64(nil), locals...)
 	stride := 1
+	//lint:allow ctxloop stride multiplies by fanIn >= 2 each level, so <=log2(machines) trips; callers poll ctx between phases
 	for stride < m {
 		next := stride * fanIn
 		s, nx := stride, next

@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"cmp"
 	"context"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -843,6 +845,42 @@ func keyOf(p SolveParams) cacheKey {
 		paper: p.PaperConstants, noReduce: p.NoReduce, improveMS: p.ImproveBudgetMS}
 }
 
+// compareCacheKeys orders cache keys field by field; epsilon compares by
+// its bit pattern (the key is an exact tuple, not a tolerance).
+func compareCacheKeys(a, b cacheKey) int {
+	if c := cmp.Compare(a.hash, b.hash); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.algo, b.algo); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(math.Float64bits(a.eps), math.Float64bits(b.eps)); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.seed, b.seed); c != 0 {
+		return c
+	}
+	if c := boolCompare(a.paper, b.paper); c != 0 {
+		return c
+	}
+	if c := boolCompare(a.noReduce, b.noReduce); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.improveMS, b.improveMS)
+}
+
+// boolCompare orders false before true.
+func boolCompare(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case b:
+		return -1
+	default:
+		return 1
+	}
+}
+
 // run executes one dequeued request end to end: deadline context, observed
 // solve through the facade, outcome classification, cache fill. The cache is
 // rechecked at dequeue time — a duplicate that slipped past coalescing (its
@@ -954,10 +992,16 @@ func (e *Engine) run(req *Request) {
 	key := keyOf(p)
 	e.mu.Lock()
 	if _, exists := e.cache[key]; !exists && len(e.cache) >= e.cfg.MaxCacheEntries {
-		for k := range e.cache { // evict an arbitrary entry to stay bounded
-			delete(e.cache, k)
-			break
+		// Evict the smallest key under a total order so which tuples stay
+		// warm never depends on map iteration order: two replicas replaying
+		// the same request log keep identical caches. Eviction only runs at
+		// capacity, so the O(n) scan is off the common path.
+		var keys []cacheKey
+		for k := range e.cache {
+			keys = append(keys, k)
 		}
+		slices.SortFunc(keys, compareCacheKeys)
+		delete(e.cache, keys[0])
 	}
 	e.cache[key] = sol
 	e.mu.Unlock()

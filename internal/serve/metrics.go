@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"io"
+	"maps"
 	"sort"
 	"time"
 )
@@ -106,10 +107,11 @@ func (e *Engine) Metrics() Metrics {
 	m.StoreTempsRemoved = int64(rec.TempsRemoved)
 	e.met.algoMu.Lock()
 	if len(e.met.perAlgo) > 0 {
+		// maps.Copy instead of a range: the copy is order-insensitive and
+		// the rendered output sorts its keys (below), so no map iteration
+		// order reaches the wire.
 		m.PerAlgorithm = make(map[string]int64, len(e.met.perAlgo))
-		for k, v := range e.met.perAlgo {
-			m.PerAlgorithm[k] = v
-		}
+		maps.Copy(m.PerAlgorithm, e.met.perAlgo)
 	}
 	e.met.algoMu.Unlock()
 	return m
