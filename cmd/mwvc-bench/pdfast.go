@@ -1,0 +1,130 @@
+package main
+
+// Fast-tier cell of the perf snapshot (-json): the million-edge matrix
+// instance solved with pdfast, the O(m) primal–dual sweep the serve layer
+// degrades to under overload. The tier records wall clock, allocations and
+// the certified ratio, and asserts the two contracts that make the fast
+// tier trustworthy: the certificate is a real 2-approximation (ratio ≤ 2.0,
+// absolute — pdfast saturates every covered vertex exactly, so unlike the
+// (2+ε) MPC bound there is no ε slack to spend), and the parallel variant
+// returns bit-for-bit the serial result. The latency claim — tens of
+// milliseconds on a 1,047,265-edge graph, against a <100ms ceiling — is
+// enforced by the -regress gate.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	mwvc "repro"
+)
+
+// pdfastTierSpec pins the measured instance to the matrix recipe (2^16
+// vertices at average degree 32 ≈ 1.05M edges, uniform weights in [1,100])
+// and the latency ceiling the gate enforces.
+var pdfastTierSpec = struct {
+	name    string
+	n       int
+	d       float64
+	ceiling time.Duration
+}{"n64k_d32_pdfast", 1 << 16, 32, 100 * time.Millisecond}
+
+// pdfastTier is the fast-tier cell of the snapshot.
+type pdfastTier struct {
+	Name  string `json:"name"`
+	N     int    `json:"n"`
+	Edges int    `json:"edges"`
+
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+
+	// Weight/Bound/CertifiedRatio come from one raw-graph solve (seed 1,
+	// reduction off so the number measures the sweep, not the kernelizer).
+	Weight         float64 `json:"weight"`
+	Bound          float64 `json:"bound"`
+	CertifiedRatio float64 `json:"certified_ratio"`
+	// Rounds counts the synchronized bidding rounds before the serial tail.
+	Rounds int `json:"rounds"`
+	// ParallelIdentical records that pdfast-par reproduced the serial cover
+	// bitmap and the Float64bits of weight and bound. Always true in a
+	// written snapshot — divergence fails the measurement outright.
+	ParallelIdentical bool `json:"parallel_identical"`
+}
+
+func measurePDFastTier() (*pdfastTier, error) {
+	spec := pdfastTierSpec
+	g := perfGraph(spec.n, spec.d)
+	if g.NumEdges() < 1_000_000 {
+		return nil, fmt.Errorf("pdfast tier: generated only %d edges, want >= 1M", g.NumEdges())
+	}
+	tier := &pdfastTier{Name: spec.name, N: g.NumVertices(), Edges: g.NumEdges()}
+	ctx := context.Background()
+
+	opts := func(a mwvc.Algorithm) []mwvc.Option {
+		return []mwvc.Option{mwvc.WithAlgorithm(a), mwvc.WithSeed(1), mwvc.WithoutReduction()}
+	}
+	serial, err := mwvc.Solve(ctx, g, opts(mwvc.AlgoPDFast)...)
+	if err != nil {
+		return nil, fmt.Errorf("pdfast tier: %w", err)
+	}
+	tier.Weight = serial.Weight
+	tier.Bound = serial.Bound
+	tier.CertifiedRatio = serial.CertifiedRatio
+	tier.Rounds = serial.Rounds
+
+	// Determinism check: the parallel variant must reproduce the serial
+	// solve bit for bit on the exact instance the tier publishes.
+	par, err := mwvc.Solve(ctx, g, opts(mwvc.AlgoPDFastPar)...)
+	if err != nil {
+		return nil, fmt.Errorf("pdfast tier (parallel): %w", err)
+	}
+	for v := range serial.Cover {
+		if par.Cover[v] != serial.Cover[v] {
+			return nil, fmt.Errorf("pdfast tier: parallel cover diverges at vertex %d", v)
+		}
+	}
+	if math.Float64bits(par.Weight) != math.Float64bits(serial.Weight) ||
+		math.Float64bits(par.Bound) != math.Float64bits(serial.Bound) {
+		return nil, fmt.Errorf("pdfast tier: parallel weight/bound diverge: %v/%v vs %v/%v",
+			par.Weight, par.Bound, serial.Weight, serial.Bound)
+	}
+	tier.ParallelIdentical = true
+
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mwvc.Solve(ctx, g, opts(mwvc.AlgoPDFast)...); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if benchErr != nil {
+		return nil, fmt.Errorf("pdfast tier: %w", benchErr)
+	}
+	if r.N == 0 || r.NsPerOp() == 0 {
+		return nil, fmt.Errorf("pdfast tier: benchmark produced no measurement")
+	}
+	tier.NsPerOp = r.NsPerOp()
+	tier.AllocsPerOp = r.AllocsPerOp()
+	tier.BytesPerOp = r.AllocedBytesPerOp()
+	return tier, nil
+}
+
+// checkPDFastTier enforces the tier's bounds: the 2-approximation is
+// absolute (every snapshot, gate or no gate); the latency ceiling is the
+// fast tier's reason to exist and is enforced when -regress is set.
+func checkPDFastTier(t *pdfastTier, regress float64) error {
+	if t.CertifiedRatio > 2.0 {
+		return fmt.Errorf("pdfast tier: certified ratio %v above 2.0", t.CertifiedRatio)
+	}
+	if regress > 0 && t.NsPerOp > pdfastTierSpec.ceiling.Nanoseconds() {
+		return fmt.Errorf("pdfast tier: %dms solve above the %v fast-tier ceiling on %d edges",
+			t.NsPerOp/1e6, pdfastTierSpec.ceiling, t.Edges)
+	}
+	return nil
+}

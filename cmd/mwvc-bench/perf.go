@@ -41,8 +41,9 @@ type perfWorkload struct {
 }
 
 // perfSnapshot is one full measurement of the matrix plus the million-edge
-// streaming tier (stream.go), the kernelization tier (kernel.go) and the
-// anytime-improvement tier (improve.go).
+// streaming tier (stream.go), the kernelization tier (kernel.go), the
+// anytime-improvement tier (improve.go) and the primal–dual fast tier
+// (pdfast.go).
 type perfSnapshot struct {
 	Generated   string         `json:"generated"`
 	Go          string         `json:"go"`
@@ -50,6 +51,7 @@ type perfSnapshot struct {
 	StreamTier  *streamTier    `json:"stream_tier,omitempty"`
 	KernelTier  *kernelTier    `json:"kernel_tier,omitempty"`
 	ImproveTier *improveTier   `json:"improve_tier,omitempty"`
+	PDFastTier  *pdfastTier    `json:"pdfast_tier,omitempty"`
 }
 
 // benchFile is the on-disk BENCH.json layout.
@@ -189,6 +191,21 @@ func runPerfSnapshot(path string, regress float64) error {
 	// Monotonicity is absolute; the strict-improvement claim is gated when
 	// -regress is set.
 	if err := checkImproveTier(it, regress); err != nil {
+		return err
+	}
+
+	fmt.Printf("measuring %s (n=%d, d=%g, primal-dual fast tier)...\n",
+		pdfastTierSpec.name, pdfastTierSpec.n, pdfastTierSpec.d)
+	pt, err := measurePDFastTier()
+	if err != nil {
+		return err
+	}
+	cur.PDFastTier = pt
+	fmt.Printf("  %d edges; %dms/op (%d allocs), weight %.0f at bound %.0f (ratio %.3f, %d rounds), parallel identical\n",
+		pt.Edges, pt.NsPerOp/1e6, pt.AllocsPerOp, pt.Weight, pt.Bound, pt.CertifiedRatio, pt.Rounds)
+	// The 2-approximation is absolute; the <100ms latency ceiling is gated
+	// when -regress is set.
+	if err := checkPDFastTier(pt, regress); err != nil {
 		return err
 	}
 

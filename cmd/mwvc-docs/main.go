@@ -36,6 +36,7 @@ var docPackages = []string{
 	"internal/mpc",
 	"internal/reduce",
 	"internal/improve",
+	"internal/pdfast",
 	"internal/solver",
 	"internal/serve",
 	"internal/fault",

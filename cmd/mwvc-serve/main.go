@@ -50,7 +50,8 @@ func main() {
 		maxTimeout  = flag.Duration("max-timeout", 10*time.Minute, "cap on per-request deadlines")
 		maxGraphs   = flag.Int("max-graphs", 0, "graph store cap (0 = 1024)")
 		dataDir     = flag.String("data-dir", "", "durable graph store directory (empty = in-memory only)")
-		degrade     = flag.Bool("degrade", false, "downgrade eligible requests to the cheap fallback solver under overload")
+		degrade     = flag.Bool("degrade", false, "downgrade eligible requests to the fast-tier fallback solver under overload")
+		degradeAlgo = flag.String("degrade-algo", "", "fallback solver for degraded requests (empty = pdfast)")
 	)
 	flag.Parse()
 
@@ -63,6 +64,7 @@ func main() {
 		MaxGraphs:         *maxGraphs,
 		DataDir:           *dataDir,
 		DegradeEnabled:    *degrade,
+		DegradeAlgorithm:  *degradeAlgo,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mwvc-serve:", err)

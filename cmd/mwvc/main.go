@@ -47,6 +47,13 @@ func main() {
 	)
 	flag.Parse()
 
+	// `mwvc -algo help` prints the registry table (name, tier, summary) and
+	// exits without solving — the scriptable form of the flag help text.
+	if *algo == "help" {
+		fmt.Println(mwvc.AlgorithmHelp())
+		return
+	}
+
 	g, err := loadGraph(*inFile, *generator, *n, *d, *weights, *seed)
 	if err != nil {
 		fatal(err)

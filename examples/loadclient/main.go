@@ -100,7 +100,12 @@ func main() {
 		hashes = append(hashes, gr.Graph)
 	}
 
-	algos := []string{"mpc", "centralized", "bye", "greedy"}
+	algos := []string{"mpc", "centralized", "pdfast", "bye", "greedy"}
+	// Every tierStride-th request names the fast tier instead of an
+	// algorithm, exercising the server-side tier→algorithm resolution (and
+	// its cache-key sharing with explicit pdfast requests). A stride keeps
+	// the mix exact and the run reproducible.
+	const tierStride = 7
 	var (
 		wg       sync.WaitGroup
 		sem      = make(chan struct{}, *concurrency)
@@ -130,9 +135,13 @@ func main() {
 			defer func() { <-sem }()
 			class := "plain"
 			payload := map[string]any{
-				"graph":     hashes[i%len(hashes)],
-				"algorithm": algos[i%len(algos)],
-				"seed":      i % *seeds,
+				"graph": hashes[i%len(hashes)],
+				"seed":  i % *seeds,
+			}
+			if i%tierStride == 0 {
+				payload["tier"] = "fast"
+			} else {
+				payload["algorithm"] = algos[i%len(algos)]
 			}
 			if deadlineStride > 0 && i%deadlineStride == 0 {
 				class = "deadline"

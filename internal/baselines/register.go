@@ -11,11 +11,13 @@ func init() {
 	solver.Register(solver.Meta{
 		Name:    "bye",
 		Rank:    30,
+		Tier:    solver.TierFast,
 		Summary: "sequential Bar-Yehuda–Even 2-approximation (single pass, self-certifying)",
 	}, solver.Func(solveBYE))
 	solver.Register(solver.Meta{
 		Name:    "greedy",
 		Rank:    40,
+		Tier:    solver.TierFast,
 		Summary: "weighted greedy (no constant-factor guarantee, no certificate)",
 	}, solver.Func(solveGreedy))
 }

@@ -11,6 +11,7 @@ func init() {
 	solver.Register(solver.Meta{
 		Name:    "congested-clique",
 		Rank:    50,
+		Tier:    solver.TierAccurate,
 		Summary: "primal–dual with one machine per vertex under congested-clique message caps",
 	}, solver.Func(solve))
 }

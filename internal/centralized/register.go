@@ -14,11 +14,13 @@ func init() {
 	solver.Register(solver.Meta{
 		Name:    "centralized",
 		Rank:    10,
+		Tier:    solver.TierAccurate,
 		Summary: "Algorithm 1 with degree-aware initialization (O(log Δ) iterations)",
 	}, solverFor(InitDegreeAware))
 	solver.Register(solver.Meta{
 		Name:    "local-uniform",
 		Rank:    20,
+		Tier:    solver.TierAccurate,
 		Summary: "Algorithm 1 with uniform initialization (O(log nW) iterations, pre-paper baseline)",
 	}, solverFor(InitUniform))
 }

@@ -11,6 +11,7 @@ func init() {
 	solver.Register(solver.Meta{
 		Name:    "mpc",
 		Rank:    0,
+		Tier:    solver.TierAccurate,
 		Summary: "the paper's Algorithm 2: O(log log d)-round MPC simulation (default)",
 	}, solver.Func(solveMPC))
 }

@@ -11,6 +11,7 @@ func init() {
 	solver.Register(solver.Meta{
 		Name:    "exact",
 		Rank:    70,
+		Tier:    solver.TierExact,
 		Summary: "optimal branch-and-bound (n ≤ 64 only)",
 	}, solver.Func(solve))
 }

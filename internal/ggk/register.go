@@ -11,6 +11,7 @@ func init() {
 	solver.Register(solver.Meta{
 		Name:    "ggk",
 		Rank:    60,
+		Tier:    solver.TierAccurate,
 		Summary: "unweighted GGK+18 round compression (unit-weight graphs only)",
 	}, solver.Func(solve))
 }

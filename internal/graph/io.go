@@ -177,6 +177,12 @@ func scanRecords(r io.Reader, s recordSink) error {
 	if n < 0 || m < 0 {
 		return fmt.Errorf("graph: negative sizes in %q", sizes)
 	}
+	// Vertex ids are int32, so a header declaring more vertices than int32
+	// can address is unusable — and sizing builder arrays from it would turn
+	// a hostile one-line header into a multi-gigabyte allocation.
+	if n > math.MaxInt32 {
+		return fmt.Errorf("graph: vertex count %d exceeds the int32 id space", n)
+	}
 	if err := s.sizes(int(n), int(m), haveM); err != nil {
 		return err
 	}

@@ -1,0 +1,81 @@
+package pdfast
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+// FuzzPrimalDual decodes arbitrary bytes into a small weighted graph and
+// pins the solver's safety invariants on it: the returned cover covers
+// every edge, the dual is feasible on every vertex, the primal is within
+// the certified 2× of the dual bound, and the parallel variant is
+// bit-identical to serial. The decoder is total — every input maps to some
+// valid instance — so the fuzzer spends its budget on solver states
+// (ties, stars, near-saturated weights), not on parser rejections.
+func FuzzPrimalDual(f *testing.F) {
+	f.Add([]byte{7, 0, 1, 3, 1, 2, 9, 2, 3, 1})
+	f.Add([]byte{200, 1, 2, 255, 2, 3, 255, 3, 4, 255, 4, 5, 255})
+	f.Add([]byte{16, 0, 1, 1, 0, 2, 1, 0, 3, 1, 0, 4, 1}) // star, unit-ish weights
+	f.Add([]byte{3, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9})  // heavy duplicate edges
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			t.Skip()
+		}
+		n := 2 + int(data[0])%96
+		b := graph.NewBuilder(n)
+		// Each 3-byte window contributes one edge; the third byte doubles as
+		// a weight nudge so equal-weight ties and 2^k exact weights both
+		// occur naturally.
+		for i := 1; i+2 < len(data); i += 3 {
+			u := graph.Vertex(int(data[i]) % n)
+			v := graph.Vertex(int(data[i+1]) % n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+			w := 0.125 + float64(data[i+2])/16
+			b.SetWeight(v, w)
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatalf("decoder produced an invalid instance: %v", err)
+		}
+
+		res, err := Run(context.Background(), g, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, witness := verify.IsCover(g, res.Cover); !ok {
+			t.Fatalf("edge %d uncovered", witness)
+		}
+		if err := verify.DualFeasible(g, res.Duals); err != nil {
+			t.Fatal(err)
+		}
+		primal := verify.CoverWeight(g, res.Cover)
+		dual := verify.DualValue(res.Duals)
+		if primal > 2*dual*(1+verify.Tolerance)+verify.Tolerance {
+			t.Fatalf("primal %v exceeds 2×dual %v", primal, 2*dual)
+		}
+
+		par, err := Run(context.Background(), g, 4, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Rounds != res.Rounds {
+			t.Fatalf("parallel rounds %d != serial %d", par.Rounds, res.Rounds)
+		}
+		for v := range res.Cover {
+			if par.Cover[v] != res.Cover[v] {
+				t.Fatalf("parallel cover diverges at vertex %d", v)
+			}
+		}
+		for e := range res.Duals {
+			if math.Float64bits(par.Duals[e]) != math.Float64bits(res.Duals[e]) {
+				t.Fatalf("parallel dual diverges at edge %d", e)
+			}
+		}
+	})
+}

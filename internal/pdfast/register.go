@@ -1,0 +1,49 @@
+package pdfast
+
+import (
+	"context"
+	"runtime"
+
+	"repro/internal/graph"
+	"repro/internal/solver"
+)
+
+func init() {
+	solver.Register(solver.Meta{
+		Name:    "pdfast",
+		Rank:    25,
+		Tier:    solver.TierFast,
+		Summary: "O(m) primal–dual CSR sweep, certified 2-approximation (serve fast tier)",
+	}, solver.Func(solveSerial))
+	solver.Register(solver.Meta{
+		Name:    "pdfast-par",
+		Rank:    26,
+		Tier:    solver.TierFast,
+		Summary: "parallel pdfast (KVY sweeps, bit-identical to serial at any GOMAXPROCS)",
+	}, solver.Func(solveParallel))
+}
+
+// solveSerial runs the round-synchronized sweep with plain serial loops.
+func solveSerial(ctx context.Context, g *graph.Graph, cfg solver.Config) (*solver.Outcome, error) {
+	return solve(ctx, g, 1, cfg)
+}
+
+// solveParallel runs the identical computation with chunked sweeps across
+// cfg.Parallelism workers (0 = GOMAXPROCS). Chunk boundaries cannot change
+// any floating-point operation order, so the outcome matches solveSerial
+// bit for bit.
+func solveParallel(ctx context.Context, g *graph.Graph, cfg solver.Config) (*solver.Outcome, error) {
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return solve(ctx, g, workers, cfg)
+}
+
+func solve(ctx context.Context, g *graph.Graph, workers int, cfg solver.Config) (*solver.Outcome, error) {
+	res, err := Run(ctx, g, workers, cfg.Observer)
+	if err != nil {
+		return nil, err
+	}
+	return &solver.Outcome{Cover: res.Cover, Duals: res.Duals, Rounds: res.Rounds}, nil
+}

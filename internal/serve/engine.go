@@ -62,7 +62,8 @@ type Config struct {
 	// eligible (there is nothing cheaper to fall back to).
 	DegradeEnabled bool
 	// DegradeAlgorithm is the fallback solver for degraded requests
-	// (default "greedy" — the cheapest registered algorithm).
+	// (default "pdfast" — the O(m) fast-tier sweep, which still returns a
+	// certified 2-approximation at a fraction of the full solve cost).
 	DegradeAlgorithm string
 	// DegradeThreshold is the queue-fullness fraction past which degradation
 	// engages (default 0.75; clamped to (0, 1]).
@@ -101,7 +102,7 @@ func (c Config) withDefaults() Config {
 		c.RetainRequests = 1024
 	}
 	if c.DegradeAlgorithm == "" {
-		c.DegradeAlgorithm = "greedy"
+		c.DegradeAlgorithm = "pdfast"
 	}
 	if c.DegradeThreshold <= 0 || c.DegradeThreshold > 1 {
 		c.DegradeThreshold = 0.75

@@ -71,8 +71,15 @@ type GraphResponse struct {
 // SolveRequest is the POST /v1/solve body. Zero-valued fields take the
 // engine defaults (algorithm mpc, ε 0.1, seed 0, default deadline).
 type SolveRequest struct {
-	Graph          string  `json:"graph"` // content hash from POST /v1/graphs
-	Algorithm      string  `json:"algorithm,omitempty"`
+	Graph     string `json:"graph"` // content hash from POST /v1/graphs
+	Algorithm string `json:"algorithm,omitempty"`
+	// Tier picks an algorithm by quality/latency bucket instead of by name:
+	// "fast", "accurate" or "exact" resolves to the bucket's preferred
+	// (lowest-ranked) registered solver — e.g. tier "fast" is the pdfast
+	// primal–dual sweep. Mutually exclusive with Algorithm; the response's
+	// algorithm field reports what the tier resolved to, and the resolved
+	// algorithm is what enters the solution-cache key.
+	Tier           string  `json:"tier,omitempty"`
 	Epsilon        float64 `json:"epsilon,omitempty"`
 	Seed           uint64  `json:"seed,omitempty"`
 	PaperConstants bool    `json:"paper_constants,omitempty"`
@@ -167,9 +174,22 @@ func (s *server) solve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("parsing request: %v", err))
 		return
 	}
+	algo := body.Algorithm
+	if body.Tier != "" {
+		if body.Algorithm != "" {
+			httpError(w, http.StatusBadRequest, `"algorithm" and "tier" are mutually exclusive; name one or the other`)
+			return
+		}
+		regs := solver.ByTier(body.Tier)
+		if len(regs) == 0 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown tier %q (want fast, accurate or exact)", body.Tier))
+			return
+		}
+		algo = regs[0].Name
+	}
 	req, err := s.engine.Submit(SolveParams{
 		GraphHash:       body.Graph,
-		Algorithm:       body.Algorithm,
+		Algorithm:       algo,
 		Epsilon:         body.Epsilon,
 		Seed:            body.Seed,
 		PaperConstants:  body.PaperConstants,

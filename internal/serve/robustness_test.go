@@ -106,19 +106,19 @@ func TestOverloadDegradation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !deg.Degraded || deg.Params.Algorithm != "greedy" || deg.RequestedAlgo != "mpc" {
-		t.Fatalf("overloaded mpc request not degraded to greedy: %+v", deg)
+	if !deg.Degraded || deg.Params.Algorithm != "pdfast" || deg.RequestedAlgo != "mpc" {
+		t.Fatalf("overloaded mpc request not degraded to pdfast: %+v", deg)
 	}
 	if deg.Params.ImproveBudgetMS != degradedImproveBudgetMS {
 		t.Fatalf("degraded improve budget %d, want capped at %d", deg.Params.ImproveBudgetMS, degradedImproveBudgetMS)
 	}
 
-	plain, err := e.Submit(SolveParams{GraphHash: hash, Algorithm: "greedy", Seed: 2})
+	plain, err := e.Submit(SolveParams{GraphHash: hash, Algorithm: "pdfast", Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if plain.Degraded || plain.RequestedAlgo != "" {
-		t.Fatalf("greedy request marked degraded: %+v", plain)
+		t.Fatalf("pdfast request marked degraded: %+v", plain)
 	}
 
 	release()

@@ -45,6 +45,7 @@ func init() {
 	solver.Register(solver.Meta{
 		Name:    "test-gated",
 		Rank:    1000,
+		Tier:    solver.TierAccurate,
 		Summary: "test-only solver that blocks until released",
 	}, solver.Func(func(ctx context.Context, g *graph.Graph, cfg solver.Config) (*solver.Outcome, error) {
 		gate.mu.Lock()

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestHTTPTierHint pins the tier request hint: `tier` resolves to the
+// bucket's preferred algorithm (fast → pdfast, accurate → mpc), shares the
+// solution-cache key with an explicit request for the same algorithm, and
+// is rejected alongside an explicit `algorithm`.
+func TestHTTPTierHint(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	gr := uploadGraph(t, srv, testGraph(t, 3, 60, 6))
+
+	resp, sr := postSolve(t, srv, SolveRequest{Graph: gr.Graph, Tier: "fast", Epsilon: 0.1, Seed: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tier fast status %d: %+v", resp.StatusCode, sr)
+	}
+	if sr.Algorithm != "pdfast" {
+		t.Fatalf("tier fast resolved to %q, want pdfast", sr.Algorithm)
+	}
+	if sr.Solution == nil || sr.Solution.CertifiedRatio > 2+1e-9 {
+		t.Fatalf("fast tier solution uncertified: %+v", sr.Solution)
+	}
+	if sr.Cached {
+		t.Fatal("first fast-tier solve reported cached")
+	}
+
+	// The resolved algorithm is the cache key: an explicit pdfast request
+	// with identical parameters must hit the tier request's cache entry.
+	resp, sr = postSolve(t, srv, SolveRequest{Graph: gr.Graph, Algorithm: "pdfast", Epsilon: 0.1, Seed: 1})
+	if resp.StatusCode != http.StatusOK || !sr.Cached {
+		t.Fatalf("explicit pdfast after tier fast: status %d cached %v", resp.StatusCode, sr.Cached)
+	}
+
+	resp, sr = postSolve(t, srv, SolveRequest{Graph: gr.Graph, Tier: "accurate", Epsilon: 0.1, Seed: 1})
+	if resp.StatusCode != http.StatusOK || sr.Algorithm != "mpc" {
+		t.Fatalf("tier accurate: status %d algorithm %q, want mpc", resp.StatusCode, sr.Algorithm)
+	}
+
+	if resp, _ := postSolve(t, srv, SolveRequest{Graph: gr.Graph, Tier: "fast", Algorithm: "mpc"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("tier+algorithm conflict status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postSolve(t, srv, SolveRequest{Graph: gr.Graph, Tier: "blazing"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown tier status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHTTPDegradedCacheKey pins the degradation contract end to end: the
+// degraded response echoes the original ask in requested_algorithm, runs
+// the fast-tier fallback, and is cached under the fallback's key — a later
+// identical request for the original algorithm solves fresh, while a
+// request for the fallback algorithm hits the degraded entry.
+func TestHTTPDegradedCacheKey(t *testing.T) {
+	release := setGate(t)
+	defer release()
+	srv, _ := newTestServer(t, Config{Workers: 1, QueueDepth: 8, DegradeEnabled: true})
+	gr := uploadGraph(t, srv, testGraph(t, 2, 40, 4))
+
+	// Occupy the worker and fill the queue to the degradation threshold
+	// (0.75 × 8 = 6).
+	wait := false
+	for i := 0; i < 7; i++ {
+		resp, sr := postSolve(t, srv, SolveRequest{Graph: gr.Graph, Algorithm: "test-gated", Seed: uint64(100 + i), Wait: &wait})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("filler %d: status %d: %+v", i, resp.StatusCode, sr)
+		}
+	}
+
+	resp, sr := postSolve(t, srv, SolveRequest{Graph: gr.Graph, Algorithm: "mpc", Epsilon: 0.1, Seed: 1, Wait: &wait})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("degraded submit status %d: %+v", resp.StatusCode, sr)
+	}
+	if !sr.Degraded || sr.Algorithm != "pdfast" || sr.RequestedAlgorithm != "mpc" {
+		t.Fatalf("degraded response algorithm=%q requested=%q degraded=%v, want pdfast/mpc/true",
+			sr.Algorithm, sr.RequestedAlgorithm, sr.Degraded)
+	}
+
+	release()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := http.Get(srv.URL + "/v1/solve/" + sr.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got SolveResponse
+		if err := json.NewDecoder(r.Body).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if got.Status == StatusDone {
+			if !got.Degraded || got.RequestedAlgorithm != "mpc" {
+				t.Fatalf("finished degraded request lost its markers: %+v", got)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("degraded request never finished: %+v", got)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The degraded result was cached under pdfast, not mpc: the original ask
+	// must not be answered from the degraded entry…
+	resp, sr = postSolve(t, srv, SolveRequest{Graph: gr.Graph, Algorithm: "mpc", Epsilon: 0.1, Seed: 1})
+	if resp.StatusCode != http.StatusOK || sr.Cached || sr.Degraded {
+		t.Fatalf("post-overload mpc request: status %d cached %v degraded %v", resp.StatusCode, sr.Cached, sr.Degraded)
+	}
+	// …while the fallback's own key is a hit.
+	resp, sr = postSolve(t, srv, SolveRequest{Graph: gr.Graph, Algorithm: "pdfast", Epsilon: 0.1, Seed: 1})
+	if resp.StatusCode != http.StatusOK || !sr.Cached {
+		t.Fatalf("pdfast request after degradation: status %d cached %v, want cache hit", resp.StatusCode, sr.Cached)
+	}
+}

@@ -79,6 +79,22 @@ func (f Func) Solve(ctx context.Context, g *graph.Graph, cfg Config) (*Outcome, 
 	return f(ctx, g, cfg)
 }
 
+// Solver tiers: every registered algorithm belongs to exactly one quality/
+// latency bucket. The serve layer resolves a request's `tier` hint to the
+// lowest-ranked algorithm of that tier, and the CLI help table prints the
+// tier column so the buckets stay visible in one place.
+const (
+	// TierFast marks near-zero-overhead solvers for latency-sensitive
+	// requests (one or few linear passes, certified 2-approximation or
+	// cheaper).
+	TierFast = "fast"
+	// TierAccurate marks the paper-faithful (2+ε)-approximation algorithms
+	// and their distributed-model variants.
+	TierAccurate = "accurate"
+	// TierExact marks provably optimal solvers.
+	TierExact = "exact"
+)
+
 // Meta describes a registered solver for listings and CLI help text.
 type Meta struct {
 	// Name is the registry key and the -algo flag value (e.g. "mpc").
@@ -87,6 +103,9 @@ type Meta struct {
 	Rank int
 	// Summary is a one-line description for help text.
 	Summary string
+	// Tier buckets the solver by quality/latency trade-off: TierFast,
+	// TierAccurate or TierExact.
+	Tier string
 }
 
 // Registration pairs a solver with its metadata.
@@ -109,6 +128,11 @@ func Register(meta Meta, s Solver) {
 	}
 	if s == nil {
 		panic(fmt.Sprintf("solver: Register(%q) with nil solver", meta.Name))
+	}
+	switch meta.Tier {
+	case TierFast, TierAccurate, TierExact:
+	default:
+		panic(fmt.Sprintf("solver: Register(%q) with unknown tier %q", meta.Name, meta.Tier))
 	}
 	mu.Lock()
 	defer mu.Unlock()
@@ -140,6 +164,20 @@ func Registrations() []Registration {
 		}
 		return out[i].Name < out[j].Name
 	})
+	return out
+}
+
+// ByTier returns the registrations whose Meta.Tier equals tier, ordered by
+// (Rank, Name). The first entry is the tier's preferred algorithm — the one
+// a serve-layer `tier` hint resolves to.
+func ByTier(tier string) []Registration {
+	regs := Registrations()
+	out := regs[:0:0]
+	for _, r := range regs {
+		if r.Tier == tier {
+			out = append(out, r)
+		}
+	}
 	return out
 }
 

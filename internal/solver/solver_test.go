@@ -25,8 +25,12 @@ func TestRegisterRejectsBadRegistrations(t *testing.T) {
 	mustPanic(t, "empty name", func() { Register(Meta{}, Func(noop)) })
 	mustPanic(t, "nil solver", func() { Register(Meta{Name: "test-nil"}, nil) })
 
-	Register(Meta{Name: "test-dup", Rank: 1000}, Func(noop))
-	mustPanic(t, "duplicate name", func() { Register(Meta{Name: "test-dup"}, Func(noop)) })
+	mustPanic(t, "unknown tier", func() { Register(Meta{Name: "test-tierless"}, Func(noop)) })
+
+	Register(Meta{Name: "test-dup", Rank: 1000, Tier: TierFast}, Func(noop))
+	mustPanic(t, "duplicate name", func() {
+		Register(Meta{Name: "test-dup", Tier: TierFast}, Func(noop))
+	})
 }
 
 func TestLookupUnknown(t *testing.T) {
@@ -36,8 +40,8 @@ func TestLookupUnknown(t *testing.T) {
 }
 
 func TestRegistrationsOrdered(t *testing.T) {
-	Register(Meta{Name: "test-z", Rank: 2000}, Func(noop))
-	Register(Meta{Name: "test-a", Rank: 2001}, Func(noop))
+	Register(Meta{Name: "test-z", Rank: 2000, Tier: TierExact}, Func(noop))
+	Register(Meta{Name: "test-a", Rank: 2001, Tier: TierAccurate}, Func(noop))
 	regs := Registrations()
 	for i := 1; i < len(regs); i++ {
 		a, b := regs[i-1], regs[i]
@@ -48,6 +52,27 @@ func TestRegistrationsOrdered(t *testing.T) {
 	}
 	if got, want := len(Names()), len(regs); got != want {
 		t.Fatalf("Names() returned %d entries, Registrations() %d", got, want)
+	}
+}
+
+func TestByTier(t *testing.T) {
+	Register(Meta{Name: "test-fast-b", Rank: 3001, Tier: TierFast}, Func(noop))
+	Register(Meta{Name: "test-fast-a", Rank: 3000, Tier: TierFast}, Func(noop))
+	fast := ByTier(TierFast)
+	var mine []string
+	for _, r := range fast {
+		if r.Tier != TierFast {
+			t.Fatalf("ByTier(fast) returned %q with tier %q", r.Name, r.Tier)
+		}
+		if r.Name == "test-fast-a" || r.Name == "test-fast-b" {
+			mine = append(mine, r.Name)
+		}
+	}
+	if len(mine) != 2 || mine[0] != "test-fast-a" {
+		t.Fatalf("ByTier order wrong: %v", mine)
+	}
+	if len(ByTier("no-such-tier")) != 0 {
+		t.Fatal("ByTier invented registrations for an unknown tier")
 	}
 }
 

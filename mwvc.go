@@ -57,6 +57,7 @@ import (
 	_ "repro/internal/core"
 	_ "repro/internal/exact"
 	_ "repro/internal/ggk"
+	_ "repro/internal/pdfast"
 )
 
 // Graph is the weighted undirected graph type shared by all algorithms.
@@ -106,6 +107,12 @@ const (
 	// AlgoLocalUniform is Algorithm 1 with the classic uniform initialization
 	// (O(log nW) iterations) — the pre-paper state of the art baseline.
 	AlgoLocalUniform Algorithm = "local-uniform"
+	// AlgoPDFast is the O(m) primal–dual fast-tier sweep (certified
+	// 2-approximation, serve degradation default).
+	AlgoPDFast Algorithm = "pdfast"
+	// AlgoPDFastPar is the deterministic parallel pdfast variant,
+	// bit-identical to AlgoPDFast at any GOMAXPROCS.
+	AlgoPDFastPar Algorithm = "pdfast-par"
 	// AlgoBYE is the sequential Bar-Yehuda–Even 2-approximation.
 	AlgoBYE Algorithm = "bye"
 	// AlgoGreedy is weighted greedy (no constant-factor guarantee).
@@ -142,15 +149,26 @@ func AlgorithmSummary(a Algorithm) string {
 	return reg.Summary
 }
 
+// AlgorithmTier returns the registered quality/latency tier of a ("fast",
+// "accurate" or "exact"), or "" for an unknown algorithm. The serve layer
+// resolves its `tier` request hint against these values.
+func AlgorithmTier(a Algorithm) string {
+	reg, ok := solver.Lookup(string(a))
+	if !ok {
+		return ""
+	}
+	return reg.Tier
+}
+
 // AlgorithmHelp renders the registry as flag help text: every algorithm name
-// with its one-line summary, in display order.
+// with its tier and one-line summary, in display order.
 func AlgorithmHelp() string {
 	var b strings.Builder
 	for i, reg := range solver.Registrations() {
 		if i > 0 {
 			b.WriteString("\n")
 		}
-		fmt.Fprintf(&b, "  %-17s %s", reg.Name, reg.Summary)
+		fmt.Fprintf(&b, "  %-17s %-9s %s", reg.Name, reg.Tier, reg.Summary)
 	}
 	return b.String()
 }

@@ -41,12 +41,12 @@ func TestSolveAllAlgorithmsSmall(t *testing.T) {
 
 func TestAlgorithmsDeriveFromRegistry(t *testing.T) {
 	algos := Algorithms()
-	if len(algos) != 8 {
-		t.Fatalf("expected the 8 built-in algorithms, got %d: %v", len(algos), algos)
+	if len(algos) != 10 {
+		t.Fatalf("expected the 10 built-in algorithms, got %d: %v", len(algos), algos)
 	}
 	want := []Algorithm{
-		AlgoMPC, AlgoCentralized, AlgoLocalUniform, AlgoBYE,
-		AlgoGreedy, AlgoCongestedClique, AlgoGGK, AlgoExact,
+		AlgoMPC, AlgoCentralized, AlgoLocalUniform, AlgoPDFast, AlgoPDFastPar,
+		AlgoBYE, AlgoGreedy, AlgoCongestedClique, AlgoGGK, AlgoExact,
 	}
 	for i, a := range want {
 		if algos[i] != a {
@@ -57,6 +57,17 @@ func TestAlgorithmsDeriveFromRegistry(t *testing.T) {
 		if AlgorithmSummary(a) == "" {
 			t.Fatalf("%s has no registered summary", a)
 		}
+		switch AlgorithmTier(a) {
+		case "fast", "accurate", "exact":
+		default:
+			t.Fatalf("%s has tier %q", a, AlgorithmTier(a))
+		}
+	}
+	if AlgorithmTier(AlgoPDFast) != "fast" || AlgorithmTier(AlgoExact) != "exact" {
+		t.Fatal("tier lookup mismatch")
+	}
+	if AlgorithmTier("nonsense") != "" {
+		t.Fatal("tier for unknown algorithm")
 	}
 	if AlgorithmSummary("nonsense") != "" {
 		t.Fatal("summary for unknown algorithm")

@@ -1,0 +1,199 @@
+package mwvc_test
+
+// Differential property suite for the pdfast fast tier. Every registered
+// algorithm runs on the same instance grid (5 families × 3 seeds) and must
+// return a valid cover; pdfast additionally must return a feasible dual
+// whose doubled value bounds the primal bitwise, match its parallel variant
+// bit-for-bit at several GOMAXPROCS values, and stay within 2× the exact
+// optimum wherever the exact solver can certify one. The suite is the
+// cross-algorithm oracle: a subtly wrong approximation solver can return
+// valid-looking covers for a long time before anyone notices, so the cheap
+// algorithms are checked against each other and against exact ground truth
+// on every run.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+
+	mwvc "repro"
+	"repro/internal/cli"
+	"repro/internal/graph"
+	"repro/internal/solver"
+	"repro/internal/verify"
+)
+
+// diffFamilies spans the structural extremes the generators offer: sparse
+// uniform-weight Erdős–Rényi, heavy-tailed preferential attachment, bipartite
+// (where LP duality is tight), regular unit-weight (everything ties), and
+// rewired ring lattices with degree-correlated weights.
+var diffFamilies = []struct {
+	name    string
+	gen     string
+	n       int
+	d       float64
+	weights string
+}{
+	{"gnp-uniform", "gnp", 800, 8, "uniform"},
+	{"powerlaw-exp", "powerlaw", 1000, 6, "exp"},
+	{"bipartite-loguniform", "bipartite", 600, 10, "loguniform"},
+	{"regular-unit", "regular", 500, 4, "unit"},
+	{"smallworld-degree", "smallworld", 700, 8, "degree"},
+}
+
+var diffSeeds = []uint64{1, 2, 3}
+
+// TestPDFastDifferential is the cross-algorithm sweep: every registered
+// solver must produce a valid cover (and a feasible dual when it claims
+// one) on every instance of the grid, and pdfast's certificate invariants
+// hold bitwise.
+func TestPDFastDifferential(t *testing.T) {
+	ctx := context.Background()
+	for _, fam := range diffFamilies {
+		for _, seed := range diffSeeds {
+			t.Run(fam.name+"/"+string(rune('0'+seed)), func(t *testing.T) {
+				g, err := cli.BuildGraph(fam.gen, fam.n, fam.d, fam.weights, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := solver.Config{Epsilon: 0.1, Seed: seed}
+				for _, reg := range solver.Registrations() {
+					out, err := reg.Solver.Solve(ctx, g, cfg)
+					if errors.Is(err, solver.ErrUnsupported) {
+						continue // instance outside the algorithm's domain
+					}
+					if err != nil {
+						t.Fatalf("%s: %v", reg.Name, err)
+					}
+					if ok, witness := verify.IsCover(g, out.Cover); !ok {
+						t.Fatalf("%s: edge %d uncovered", reg.Name, witness)
+					}
+					if out.Duals != nil {
+						if err := verify.DualFeasible(g, out.Duals); err != nil {
+							t.Fatalf("%s: %v", reg.Name, err)
+						}
+					}
+				}
+
+				checkPDFastCertificate(t, ctx, g, cfg)
+			})
+		}
+	}
+}
+
+// checkPDFastCertificate pins pdfast's own contract on one instance: valid
+// cover, per-vertex dual feasibility, and primal ≤ 2·dual compared through
+// math.Float64bits — non-negative IEEE doubles order identically by value
+// and by bit pattern, so this is the exact (no-tolerance) form of the
+// 2-approximation inequality on the sums as actually computed.
+func checkPDFastCertificate(t *testing.T, ctx context.Context, g *graph.Graph, cfg solver.Config) {
+	t.Helper()
+	reg, ok := solver.Lookup("pdfast")
+	if !ok {
+		t.Fatal("pdfast not registered")
+	}
+	out, err := reg.Solver.Solve(ctx, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, witness := verify.IsCover(g, out.Cover); !ok {
+		t.Fatalf("pdfast: edge %d uncovered", witness)
+	}
+	if err := verify.DualFeasible(g, out.Duals); err != nil {
+		t.Fatalf("pdfast dual infeasible: %v", err)
+	}
+	primal := verify.CoverWeight(g, out.Cover)
+	dual := verify.DualValue(out.Duals)
+	if math.Float64bits(primal) > math.Float64bits(2*dual) {
+		t.Fatalf("pdfast primal %v (bits %#x) exceeds 2×dual %v (bits %#x)",
+			primal, math.Float64bits(primal), 2*dual, math.Float64bits(2*dual))
+	}
+}
+
+// TestPDFastParallelMatchesSerial pins the KVY determinism contract: the
+// parallel variant's cover bitmap and dual vector are bit-for-bit identical
+// to serial pdfast at GOMAXPROCS ∈ {1, 2, 8}, on every instance of the
+// grid. Weight and bound are compared through Float64bits — "equal" here
+// means the same IEEE double, not merely close.
+func TestPDFastParallelMatchesSerial(t *testing.T) {
+	ctx := context.Background()
+	serialReg, _ := solver.Lookup("pdfast")
+	parReg, ok := solver.Lookup("pdfast-par")
+	if !ok {
+		t.Fatal("pdfast-par not registered")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, fam := range diffFamilies {
+		for _, seed := range diffSeeds {
+			g, err := cli.BuildGraph(fam.gen, fam.n, fam.d, fam.weights, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := solver.Config{Epsilon: 0.1, Seed: seed}
+			want, err := serialReg.Solver.Solve(ctx, g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, procs := range []int{1, 2, 8} {
+				runtime.GOMAXPROCS(procs)
+				got, err := parReg.Solver.Solve(ctx, g, cfg) // Parallelism 0 → GOMAXPROCS
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Rounds != want.Rounds {
+					t.Fatalf("%s/%d GOMAXPROCS=%d: rounds %d != %d", fam.name, seed, procs, got.Rounds, want.Rounds)
+				}
+				for v := range want.Cover {
+					if got.Cover[v] != want.Cover[v] {
+						t.Fatalf("%s/%d GOMAXPROCS=%d: cover diverges at vertex %d", fam.name, seed, procs, v)
+					}
+				}
+				for e := range want.Duals {
+					if math.Float64bits(got.Duals[e]) != math.Float64bits(want.Duals[e]) {
+						t.Fatalf("%s/%d GOMAXPROCS=%d: dual diverges at edge %d: %v != %v",
+							fam.name, seed, procs, e, got.Duals[e], want.Duals[e])
+					}
+				}
+				gw, ww := verify.CoverWeight(g, got.Cover), verify.CoverWeight(g, want.Cover)
+				gb, wb := verify.DualValue(got.Duals), verify.DualValue(want.Duals)
+				if math.Float64bits(gw) != math.Float64bits(ww) || math.Float64bits(gb) != math.Float64bits(wb) {
+					t.Fatalf("%s/%d GOMAXPROCS=%d: weight/bound bits diverge", fam.name, seed, procs)
+				}
+			}
+		}
+	}
+}
+
+// TestPDFastAgainstExactOptimum shrinks each family into exact's domain
+// (n ≤ 64 raw, so the kernel trivially reaches the exact solver) and checks
+// pdfast's weight against 2× the true optimum — the end-to-end form of the
+// guarantee, with no dual in between.
+func TestPDFastAgainstExactOptimum(t *testing.T) {
+	ctx := context.Background()
+	for _, fam := range diffFamilies {
+		for _, seed := range diffSeeds {
+			g, err := cli.BuildGraph(fam.gen, 48, 4, fam.weights, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, err := mwvc.Solve(ctx, g, mwvc.WithAlgorithm(mwvc.AlgoExact), mwvc.WithSeed(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !opt.Exact {
+				t.Fatalf("%s/%d: exact solve not marked exact", fam.name, seed)
+			}
+			sol, err := mwvc.Solve(ctx, g, mwvc.WithAlgorithm(mwvc.AlgoPDFast), mwvc.WithSeed(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 2×OPT is certified through the dual (dual ≤ OPT by weak
+			// duality); the verify tolerance absorbs the two float sums.
+			if sol.Weight > 2*opt.Weight*(1+verify.Tolerance)+verify.Tolerance {
+				t.Fatalf("%s/%d: pdfast weight %v exceeds 2×optimum %v", fam.name, seed, sol.Weight, 2*opt.Weight)
+			}
+		}
+	}
+}
