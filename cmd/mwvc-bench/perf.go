@@ -12,6 +12,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"testing"
@@ -45,13 +46,14 @@ type perfWorkload struct {
 // anytime-improvement tier (improve.go) and the primal–dual fast tier
 // (pdfast.go).
 type perfSnapshot struct {
-	Generated   string         `json:"generated"`
-	Go          string         `json:"go"`
-	Workloads   []perfWorkload `json:"workloads"`
-	StreamTier  *streamTier    `json:"stream_tier,omitempty"`
-	KernelTier  *kernelTier    `json:"kernel_tier,omitempty"`
-	ImproveTier *improveTier   `json:"improve_tier,omitempty"`
-	PDFastTier  *pdfastTier    `json:"pdfast_tier,omitempty"`
+	Generated    string         `json:"generated"`
+	Go           string         `json:"go"`
+	Workloads    []perfWorkload `json:"workloads"`
+	StreamTier   *streamTier    `json:"stream_tier,omitempty"`
+	KernelTier   *kernelTier    `json:"kernel_tier,omitempty"`
+	ImproveTier  *improveTier   `json:"improve_tier,omitempty"`
+	PDFastTier   *pdfastTier    `json:"pdfast_tier,omitempty"`
+	CompressTier *compressTier  `json:"compress_tier,omitempty"`
 }
 
 // benchFile is the on-disk BENCH.json layout.
@@ -91,7 +93,10 @@ func measureWorkload(name string, n int, d float64) (perfWorkload, error) {
 	w.TotalWords = res.ClusterMetrics.TotalWords
 	w.TotalMessages = res.ClusterMetrics.TotalMessages
 	if res.Rounds > 0 {
-		w.WordsPerRound = float64(w.TotalWords) / float64(res.Rounds)
+		// Fixed precision: the raw quotient's trailing float digits made every
+		// regeneration rewrite the line even when nothing changed; two decimals
+		// keep the snapshot diff-stable without losing signal.
+		w.WordsPerRound = roundTo(float64(w.TotalWords)/float64(res.Rounds), 2)
 	}
 
 	// testing.Benchmark for the timing/allocation profile (same seed
@@ -209,6 +214,25 @@ func runPerfSnapshot(path string, regress float64) error {
 		return err
 	}
 
+	fmt.Printf("measuring %s (workload matrix, native vs round-compressed rounds; timing on %s)...\n",
+		"mpc_vs_compress", compressTimedShape)
+	ct, err := measureCompressTier()
+	if err != nil {
+		return err
+	}
+	cur.CompressTier = ct
+	for _, s := range ct.Shapes {
+		fmt.Printf("  %-10s %d edges; rounds %d native → %d compressed (%.2f LOCAL rounds per MPC round)\n",
+			s.Name, s.Edges, s.NativeRounds, s.CompressedRounds, s.LocalRoundsPerMPCRound)
+	}
+	fmt.Printf("  %s timing: native %dms/op vs compressed %dms/op (median paired delta %+dµs); ratio %.4f native vs %.4f compressed\n",
+		ct.TimedShape, ct.NativeNsPerOp/1e6, ct.CompressedNsPerOp/1e6, ct.MedianDeltaNs/1e3, ct.NativeRatio, ct.CompressedRatio)
+	// The round win and the certificate bound are absolute; the wall-clock
+	// win on the 2M-edge shape is gated when -regress is set.
+	if err := checkCompressTier(ct, regress); err != nil {
+		return err
+	}
+
 	for _, m := range perfMatrix {
 		fmt.Printf("measuring %s (n=%d, d=%g)...\n", m.name, m.n, m.d)
 		w, err := measureWorkload(m.name, m.n, m.d)
@@ -235,8 +259,8 @@ func runPerfSnapshot(path string, regress float64) error {
 		for _, w := range out.Baseline.Workloads {
 			base[w.Name] = w
 		}
-		fmt.Printf("\n%-12s %14s %14s %10s %14s %14s %10s\n",
-			"workload", "ns/op(old)", "ns/op(new)", "Δns", "allocs(old)", "allocs(new)", "Δallocs")
+		fmt.Printf("\n%-12s %14s %14s %10s %14s %14s %10s %12s\n",
+			"workload", "ns/op(old)", "ns/op(new)", "Δns", "allocs(old)", "allocs(new)", "Δallocs", "rounds")
 		for _, w := range cur.Workloads {
 			b, ok := base[w.Name]
 			if !ok {
@@ -244,8 +268,8 @@ func runPerfSnapshot(path string, regress float64) error {
 			}
 			dns := ratioDelta(w.NsPerOp, b.NsPerOp)
 			dal := ratioDelta(w.AllocsPerOp, b.AllocsPerOp)
-			fmt.Printf("%-12s %14d %14d %9.1f%% %14d %14d %9.1f%%\n",
-				w.Name, b.NsPerOp, w.NsPerOp, dns, b.AllocsPerOp, w.AllocsPerOp, dal)
+			fmt.Printf("%-12s %14d %14d %9.1f%% %14d %14d %9.1f%% %5d → %-4d\n",
+				w.Name, b.NsPerOp, w.NsPerOp, dns, b.AllocsPerOp, w.AllocsPerOp, dal, b.Rounds, w.Rounds)
 			// Gate each metric independently: a zero-alloc baseline must
 			// still gate ns/op, and allocs moving off zero is a regression.
 			if regress > 0 {
@@ -256,6 +280,13 @@ func runPerfSnapshot(path string, regress float64) error {
 					regressed = true
 				}
 				if b.AllocsPerOp == 0 && w.AllocsPerOp > 0 {
+					regressed = true
+				}
+				// Round counts are deterministic for the fixed workload seed,
+				// so any increase is a real regression, not noise — gate it
+				// absolutely rather than with the timing factor.
+				if b.Rounds > 0 && w.Rounds > b.Rounds {
+					fmt.Printf("%-12s rounds regressed: %d → %d\n", w.Name, b.Rounds, w.Rounds)
 					regressed = true
 				}
 			}
@@ -283,4 +314,11 @@ func ratioDelta(now, then int64) float64 {
 		return 0
 	}
 	return 100 * (float64(now) - float64(then)) / float64(then)
+}
+
+// roundTo rounds x to p decimal places — the snapshot's fixed-precision rule
+// for derived float metrics, keeping regenerated files diff-stable.
+func roundTo(x float64, p int) float64 {
+	pow := math.Pow(10, float64(p))
+	return math.Round(x*pow) / pow
 }

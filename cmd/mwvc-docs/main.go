@@ -6,8 +6,8 @@
 //     *.md files must point at an existing file (anchors and external
 //     URLs are not checked).
 //  2. Doc-comment coverage: the documented packages (internal/graph,
-//     internal/mpc, internal/reduce, internal/solver, internal/serve,
-//     internal/fault) must
+//     internal/mpc, internal/reduce, internal/solver, internal/compress,
+//     internal/serve, internal/fault) must
 //     have a package comment and a doc comment on every exported top-level
 //     identifier,
 //     so their `go doc` output stays useful.
@@ -37,6 +37,7 @@ var docPackages = []string{
 	"internal/reduce",
 	"internal/improve",
 	"internal/pdfast",
+	"internal/compress",
 	"internal/solver",
 	"internal/serve",
 	"internal/fault",

@@ -218,6 +218,9 @@ func traceEvent(e mwvc.Event) {
 		fmt.Fprintf(os.Stderr, "[trace]   improve step %d: weight=%.3f\n", e.Round, e.Weight)
 	case mwvc.KindImproveEnd:
 		fmt.Fprintf(os.Stderr, "[trace] improve done: weight=%.3f steps=%d\n", e.Weight, e.Round)
+	case mwvc.KindCompress:
+		fmt.Fprintf(os.Stderr, "[trace] compress %d: local_rounds=%d groups=%d rounds=%d active_edges=%d dual=%.3f\n",
+			e.Phase, e.Iterations, e.Machines, e.Round, e.ActiveEdges, e.DualBound)
 	}
 }
 

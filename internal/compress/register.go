@@ -1,0 +1,41 @@
+package compress
+
+import (
+	"context"
+
+	"repro/internal/graph"
+	"repro/internal/solver"
+)
+
+func init() {
+	solver.Register(solver.Meta{
+		Name:    "mpc-compress",
+		Rank:    1,
+		Tier:    solver.TierAccurate,
+		Summary: "round-compressed Algorithm 2: sampled LOCAL simulation, 3 cluster rounds per phase",
+	}, solver.Func(solveCompress))
+}
+
+// solveCompress adapts the round-compressed solver to the registry
+// contract. As with the native solver, the returned duals are rescaled to
+// exact feasibility (FeasibleDual) on the original graph, so the facade can
+// build a checked certificate from them directly.
+func solveCompress(ctx context.Context, g *graph.Graph, cfg solver.Config) (*solver.Outcome, error) {
+	params := DefaultParams(cfg.Epsilon, cfg.Seed)
+	if cfg.PaperConstants {
+		params = PaperParams(cfg.Epsilon, cfg.Seed)
+	}
+	params.Parallelism = cfg.Parallelism
+	params.Observer = cfg.Observer
+	res, err := Run(ctx, g, params)
+	if err != nil {
+		return nil, err
+	}
+	scaled, _ := res.FeasibleDual(g)
+	return &solver.Outcome{
+		Cover:  res.Cover,
+		Duals:  scaled,
+		Rounds: res.Rounds,
+		Phases: res.Phases,
+	}, nil
+}

@@ -44,8 +44,8 @@ type machScratch struct {
 	vCnt, eCnt []int32    // per-destination record counts, then write cursors
 	vBuf, eBuf [][]uint64 // per-destination Alloc'd message buffers
 	edgeIDs    []int32    // co-located edges found by the count pass
-	li         localInstance
-	sim        simScratch
+	li         LocalInstance
+	sim        SimScratch
 }
 
 // ensure sizes the per-destination arrays for a fleet of `total` machines.
@@ -497,7 +497,7 @@ func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 			}
 			sc := &scratch[id]
 			li := &sc.li
-			li.reset()
+			li.Reset()
 			nV, nE := 0, 0
 			for _, msg := range inbox {
 				if len(msg.Data) == 0 {
@@ -510,7 +510,7 @@ func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 					nE += (len(msg.Data) - 1) / mpc.EdgeRecordWords
 				}
 			}
-			li.grow(nV, nE)
+			li.Grow(nV, nE)
 			// localIdx is shared across machines but the partition makes the
 			// writes disjoint: only this machine's own vertices are indexed,
 			// and they are reset below before the step returns.
@@ -525,9 +525,9 @@ func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 				}
 				for i := 0; i < cnt; i++ {
 					v, w := mpc.DecodeVertexRecord(body, i)
-					localIdx[v] = int32(len(li.vertexIDs))
-					li.vertexIDs = append(li.vertexIDs, v)
-					li.resWeight = append(li.resWeight, w)
+					localIdx[v] = int32(len(li.VertexIDs))
+					li.VertexIDs = append(li.VertexIDs, v)
+					li.ResWeight = append(li.ResWeight, w)
 				}
 			}
 			for _, msg := range inbox {
@@ -545,22 +545,22 @@ func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 					if lu < 0 || lv < 0 {
 						return fmt.Errorf("core: machine %d received edge (%d,%d) without both endpoints", id, u, v)
 					}
-					li.edges = append(li.edges, [2]int32{lu, lv})
-					li.x0 = append(li.x0, x0)
+					li.Edges = append(li.Edges, [2]int32{lu, lv})
+					li.X0 = append(li.X0, x0)
 				}
 			}
-			if err := mach.Charge(li.words()); err != nil {
+			if err := mach.Charge(li.Words()); err != nil {
 				return err
 			}
-			localEdgeCount[id] = int64(len(li.edges))
-			freeze := runLocalSim(li, mMach, iters, eps, biasCoeff, p.BiasGrowth, threshold, &sc.sim)
+			localEdgeCount[id] = int64(len(li.Edges))
+			freeze := RunLocalSim(li, mMach, iters, eps, biasCoeff, p.BiasGrowth, threshold, &sc.sim)
 			// Stage the freeze results per home machine, reusing the scatter
 			// counters/buffers (count → Reserve → Alloc → fill, as above).
 			rCnt, rBuf := sc.vCnt, sc.vBuf
 			for dst := 0; dst < mTotal; dst++ {
 				rCnt[dst] = 0
 			}
-			for _, v := range li.vertexIDs {
+			for _, v := range li.VertexIDs {
 				rCnt[int(v)%mTotal]++
 			}
 			total := int64(0)
@@ -581,7 +581,7 @@ func Run(ctx context.Context, g *graph.Graph, p Params) (*Result, error) {
 				}
 				rCnt[dst] = 0 // reuse as write cursor
 			}
-			for i, v := range li.vertexIDs {
+			for i, v := range li.VertexIDs {
 				home := int(v) % mTotal
 				mpc.SetResultRecord(rBuf[home], int(rCnt[home]), v, freeze[i])
 				rCnt[home]++

@@ -7,46 +7,49 @@ import (
 	"repro/internal/mpc"
 )
 
-// localInstance is the subproblem one machine simulates in a phase: the
+// LocalInstance is the subproblem one machine simulates in a phase: the
 // subgraph induced by its partition class V_i, with residual weights and
 // initial duals computed at the phase start. Instances are reused across
-// phases (see reset), so a machine's decode buffers are allocated once and
-// recycled.
-type localInstance struct {
-	// vertexIDs holds the global ids of the machine's vertices; all other
+// phases (see Reset), so a machine's decode buffers are allocated once and
+// recycled. The round-compressed solver (internal/compress) builds the same
+// instances from its sampled vertex groups, which is why the type and
+// RunLocalSim are exported.
+type LocalInstance struct {
+	// VertexIDs holds the global ids of the machine's vertices; all other
 	// slices are indexed by position in this list.
-	vertexIDs []graph.Vertex
-	// resWeight[i] is w′(vertexIDs[i]).
-	resWeight []float64
-	// edges are local index pairs; x0 their initial dual values.
-	edges [][2]int32
-	x0    []float64
+	VertexIDs []graph.Vertex
+	// ResWeight[i] is w′(VertexIDs[i]).
+	ResWeight []float64
+	// Edges are local index pairs; X0 their initial dual values.
+	Edges [][2]int32
+	// X0 holds the initial dual value of each local edge.
+	X0 []float64
 }
 
-// reset empties the instance for reuse, keeping the allocated capacity.
-func (li *localInstance) reset() {
-	li.vertexIDs = li.vertexIDs[:0]
-	li.resWeight = li.resWeight[:0]
-	li.edges = li.edges[:0]
-	li.x0 = li.x0[:0]
+// Reset empties the instance for reuse, keeping the allocated capacity.
+func (li *LocalInstance) Reset() {
+	li.VertexIDs = li.VertexIDs[:0]
+	li.ResWeight = li.ResWeight[:0]
+	li.Edges = li.Edges[:0]
+	li.X0 = li.X0[:0]
 }
 
-// grow ensures capacity for nv vertices and ne edges (lengths unchanged),
+// Grow ensures capacity for nv vertices and ne edges (lengths unchanged),
 // so record ingestion appends without intermediate reallocations.
-func (li *localInstance) grow(nv, ne int) {
-	if cap(li.vertexIDs) < nv {
-		li.vertexIDs = append(make([]graph.Vertex, 0, nv), li.vertexIDs...)
-		li.resWeight = append(make([]float64, 0, nv), li.resWeight...)
+func (li *LocalInstance) Grow(nv, ne int) {
+	if cap(li.VertexIDs) < nv {
+		li.VertexIDs = append(make([]graph.Vertex, 0, nv), li.VertexIDs...)
+		li.ResWeight = append(make([]float64, 0, nv), li.ResWeight...)
 	}
-	if cap(li.edges) < ne {
-		li.edges = append(make([][2]int32, 0, ne), li.edges...)
-		li.x0 = append(make([]float64, 0, ne), li.x0...)
+	if cap(li.Edges) < ne {
+		li.Edges = append(make([][2]int32, 0, ne), li.Edges...)
+		li.X0 = append(make([]float64, 0, ne), li.X0...)
 	}
 }
 
-// words returns the MPC memory footprint of the instance.
-func (li *localInstance) words() int64 {
-	return int64(len(li.edges))*3 + int64(len(li.vertexIDs))*2
+// Words returns the MPC memory footprint of the instance.
+func (li *LocalInstance) Words() int64 {
+	return int64(len(li.Edges))*3 + int64(len(li.VertexIDs))*2
 }
 
 // simSlot is one adjacency entry of the local subgraph.
@@ -55,11 +58,11 @@ type simSlot struct {
 	other int32
 }
 
-// simScratch holds the per-machine working arrays of runLocalSim, recycled
+// SimScratch holds the per-machine working arrays of RunLocalSim, recycled
 // across phases so a steady-state phase allocates nothing per simulation.
 // The freezeIter result slice is part of the scratch: it is valid until the
-// machine's next runLocalSim call.
-type simScratch struct {
+// machine's next RunLocalSim call.
+type SimScratch struct {
 	freezeIter []int
 	adjOff     []int32
 	adj        []simSlot
@@ -72,7 +75,7 @@ type simScratch struct {
 	freezeList []int32
 }
 
-// runLocalSim executes Lines (2g i–iii): I iterations of the centralized
+// RunLocalSim executes Lines (2g i–iii): I iterations of the centralized
 // primal–dual scheme on the local subgraph, with the freeze test replaced by
 // the biased estimator
 //
@@ -93,10 +96,10 @@ type simScratch struct {
 //
 // It returns, per local vertex, the iteration at which it froze (or -1).
 // The returned slice aliases sc and is valid until sc's next use.
-func runLocalSim(li *localInstance, machines, iterations int, epsilon, biasCoeff, biasGrowth float64,
-	threshold func(v graph.Vertex, t int) float64, sc *simScratch) []int {
+func RunLocalSim(li *LocalInstance, machines, iterations int, epsilon, biasCoeff, biasGrowth float64,
+	threshold func(v graph.Vertex, t int) float64, sc *SimScratch) []int {
 
-	nv := len(li.vertexIDs)
+	nv := len(li.VertexIDs)
 	sc.freezeIter = mpc.Grow(sc.freezeIter, nv)
 	freezeIter := sc.freezeIter
 	for i := range freezeIter {
@@ -112,19 +115,19 @@ func runLocalSim(li *localInstance, machines, iterations int, epsilon, biasCoeff
 	for i := range adjOff {
 		adjOff[i] = 0
 	}
-	for _, e := range li.edges {
+	for _, e := range li.Edges {
 		adjOff[e[0]+1]++
 		adjOff[e[1]+1]++
 	}
 	for i := 0; i < nv; i++ {
 		adjOff[i+1] += adjOff[i]
 	}
-	sc.adj = mpc.Grow(sc.adj, len(li.edges)*2)
+	sc.adj = mpc.Grow(sc.adj, len(li.Edges)*2)
 	adj := sc.adj
 	sc.cursor = mpc.Grow(sc.cursor, nv)
 	cursor := sc.cursor
 	copy(cursor, adjOff[:nv])
-	for ei, e := range li.edges {
+	for ei, e := range li.Edges {
 		u, v := e[0], e[1]
 		adj[cursor[u]] = simSlot{edge: int32(ei), other: v}
 		cursor[u]++
@@ -139,10 +142,10 @@ func runLocalSim(li *localInstance, machines, iterations int, epsilon, biasCoeff
 	// Incremental incident sums, split into the part that still grows and
 	// the part frozen at its final value (same scheme as the centralized
 	// implementation).
-	sc.x = mpc.Grow(sc.x, len(li.x0))
+	sc.x = mpc.Grow(sc.x, len(li.X0))
 	x := sc.x
-	copy(x, li.x0)
-	sc.edgeActive = mpc.Grow(sc.edgeActive, len(li.edges))
+	copy(x, li.X0)
+	sc.edgeActive = mpc.Grow(sc.edgeActive, len(li.Edges))
 	edgeActive := sc.edgeActive
 	sc.sumActive = mpc.Grow(sc.sumActive, nv)
 	sumActive := sc.sumActive
@@ -152,7 +155,7 @@ func runLocalSim(li *localInstance, machines, iterations int, epsilon, biasCoeff
 		sumActive[i] = 0
 		sumFrozen[i] = 0
 	}
-	for ei, e := range li.edges {
+	for ei, e := range li.Edges {
 		edgeActive[ei] = true
 		sumActive[e[0]] += x[ei]
 		sumActive[e[1]] += x[ei]
@@ -172,8 +175,8 @@ func runLocalSim(li *localInstance, machines, iterations int, epsilon, biasCoeff
 			if !active[i] {
 				continue
 			}
-			est := bias*li.resWeight[i] + mf*(sumActive[i]+sumFrozen[i])
-			if est >= threshold(li.vertexIDs[i], t)*li.resWeight[i] {
+			est := bias*li.ResWeight[i] + mf*(sumActive[i]+sumFrozen[i])
+			if est >= threshold(li.VertexIDs[i], t)*li.ResWeight[i] {
 				freezeList = append(freezeList, int32(i))
 			}
 		}
@@ -195,7 +198,7 @@ func runLocalSim(li *localInstance, machines, iterations int, epsilon, biasCoeff
 			}
 		}
 		// Lines (2g ii–iii): active edges grow, frozen edges stay.
-		for ei := range li.edges {
+		for ei := range li.Edges {
 			if edgeActive[ei] {
 				x[ei] *= growth
 			}

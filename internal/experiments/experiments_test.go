@@ -81,6 +81,42 @@ func TestRunAndRender(t *testing.T) {
 	}
 }
 
+// TestE1CompressedSeriesFewerRounds pins E1c's headline: on the standard
+// E1 instance family, wherever the degree is high enough for sampled
+// phases to run at all, the round-compressed solver's accounted MPC round
+// count is strictly below the native solver's, and the compressed rounds
+// carry more than one simulated LOCAL round each.
+func TestE1CompressedSeriesFewerRounds(t *testing.T) {
+	pts, err := e1RoundsComparison(Config{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compared := 0
+	for _, p := range pts {
+		if p.NativePhases == 0 {
+			// Below the switch-over threshold both solvers jump straight to
+			// the final centralized phase; the round bills coincide there.
+			if p.CompressedRounds != p.NativeRounds {
+				t.Fatalf("d=%v: no sampled phases, yet rounds differ (%d vs %d)",
+					p.Degree, p.CompressedRounds, p.NativeRounds)
+			}
+			continue
+		}
+		compared++
+		if p.CompressedRounds >= p.NativeRounds {
+			t.Fatalf("d=%v: compressed rounds %d not strictly below native %d",
+				p.Degree, p.CompressedRounds, p.NativeRounds)
+		}
+		if p.Density <= 1 {
+			t.Fatalf("d=%v: compressed rounds carry %.2f simulated LOCAL rounds each, want > 1",
+				p.Degree, p.Density)
+		}
+	}
+	if compared == 0 {
+		t.Fatal("no degree point ran sampled phases; the comparison is vacuous")
+	}
+}
+
 func TestIDNum(t *testing.T) {
 	if idNum("E2") != 2 || idNum("E11") != 11 {
 		t.Fatal("idNum broken")

@@ -98,7 +98,7 @@ var deterministicPkgs = map[string]bool{
 	"core": true, "mpc": true, "mpcalg": true, "cclique": true,
 	"matching": true, "ggk": true, "centralized": true, "exact": true,
 	"reduce": true, "improve": true, "solver": true, "graph": true,
-	"serve": true, "pdfast": true,
+	"serve": true, "pdfast": true, "compress": true,
 }
 
 // algorithmPkgs are the packages bound by the cancellation contract: every
@@ -106,7 +106,7 @@ var deterministicPkgs = map[string]bool{
 var algorithmPkgs = map[string]bool{
 	"core": true, "mpcalg": true, "cclique": true, "matching": true,
 	"ggk": true, "centralized": true, "exact": true, "reduce": true,
-	"improve": true, "solver": true, "pdfast": true,
+	"improve": true, "solver": true, "pdfast": true, "compress": true,
 }
 
 // floatPkgs are the packages where float equality is load-bearing: the

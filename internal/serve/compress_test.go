@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestHTTPCompressedSolver pins the serve integration of the round-compressed
+// solver: "mpc-compress" resolves through the registry, returns a certified
+// solution, caches under its own key — distinct from the native "mpc" entry
+// with identical parameters — and shows up in the per-algorithm metrics.
+func TestHTTPCompressedSolver(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	gr := uploadGraph(t, srv, testGraph(t, 5, 120, 8))
+
+	resp, sr := postSolve(t, srv, SolveRequest{Graph: gr.Graph, Algorithm: "mpc-compress", Epsilon: 0.1, Seed: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mpc-compress status %d: %+v", resp.StatusCode, sr)
+	}
+	if sr.Algorithm != "mpc-compress" || sr.Cached {
+		t.Fatalf("first compressed solve: algorithm %q cached %v", sr.Algorithm, sr.Cached)
+	}
+	if sr.Solution == nil || sr.Solution.CertifiedRatio > 2.5 {
+		t.Fatalf("compressed solution uncertified or too weak: %+v", sr.Solution)
+	}
+
+	// Identical repeat request: the compressed entry must be a cache hit.
+	resp, sr = postSolve(t, srv, SolveRequest{Graph: gr.Graph, Algorithm: "mpc-compress", Epsilon: 0.1, Seed: 1})
+	if resp.StatusCode != http.StatusOK || !sr.Cached {
+		t.Fatalf("repeat compressed solve: status %d cached %v, want cache hit", resp.StatusCode, sr.Cached)
+	}
+
+	// The algorithm is part of the cache key: the native solver with the
+	// same graph/epsilon/seed must solve fresh, not read the compressed
+	// entry.
+	resp, sr = postSolve(t, srv, SolveRequest{Graph: gr.Graph, Algorithm: "mpc", Epsilon: 0.1, Seed: 1})
+	if resp.StatusCode != http.StatusOK || sr.Cached {
+		t.Fatalf("native solve after compressed: status %d cached %v, want fresh solve", resp.StatusCode, sr.Cached)
+	}
+
+	r, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `mwvc_solves_by_algorithm_total{algorithm="mpc-compress"} 1`) {
+		t.Fatalf("metrics missing the compressed solver's execution count:\n%s", body)
+	}
+}

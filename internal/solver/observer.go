@@ -39,6 +39,14 @@ const (
 	// budget expired, or cancelled), carrying the final cover weight in
 	// Weight and the total accepted-move count in Round.
 	KindImproveEnd
+	// KindCompress fires once per compressed MPC round of the
+	// round-compressed solver (AlgoMPCCompress), after the round's sampled
+	// LOCAL simulation has been reconciled: Iterations carries the number of
+	// simulated LOCAL rounds executed inside the gathered groups, Machines
+	// the group count, Phase the compressed-round index, Round the
+	// cumulative cluster rounds, and ActiveEdges/DualBound the post-round
+	// state.
+	KindCompress
 )
 
 // String returns the kind's wire name (used by CLI traces and the solve
@@ -63,6 +71,8 @@ func (k EventKind) String() string {
 		return "improve-step"
 	case KindImproveEnd:
 		return "improve-end"
+	case KindCompress:
+		return "compress"
 	default:
 		return "unknown"
 	}

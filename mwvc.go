@@ -54,6 +54,7 @@ import (
 	_ "repro/internal/baselines"
 	_ "repro/internal/cclique"
 	_ "repro/internal/centralized"
+	_ "repro/internal/compress"
 	_ "repro/internal/core"
 	_ "repro/internal/exact"
 	_ "repro/internal/ggk"
@@ -101,6 +102,10 @@ const (
 	// AlgoMPC is the paper's contribution: Algorithm 2, the O(log log d)-round
 	// MPC simulation (package internal/core).
 	AlgoMPC Algorithm = "mpc"
+	// AlgoMPCCompress is the round-compressed Algorithm 2: the same sampled
+	// phase logic riding on 3 accounted cluster rounds per phase instead of
+	// 5, via a single gathered LOCAL simulation per sampled group.
+	AlgoMPCCompress Algorithm = "mpc-compress"
 	// AlgoCentralized is Algorithm 1 run sequentially with the degree-aware
 	// initialization (O(log Δ) iterations).
 	AlgoCentralized Algorithm = "centralized"
@@ -199,6 +204,7 @@ const (
 	KindImproveStart = solver.KindImproveStart
 	KindImproveStep  = solver.KindImproveStep
 	KindImproveEnd   = solver.KindImproveEnd
+	KindCompress     = solver.KindCompress
 )
 
 // MultiObserver fans events out to several observers in order, skipping nils.
